@@ -1,0 +1,117 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (Table 1, Fig 8-12, ablations)
+//	experiments -exp fig8 -insts 800000  # one experiment, longer runs
+//	experiments -exp fig10 -bench go,gcc # restrict the benchmark suite
+//
+// Output is plain text: one block per experiment, formatted as the
+// rows/series the paper reports. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+type renderable interface{ Render() string }
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig8..fig12, paths, ablations (or a specific abl-*), ext-cache, ext-cedesign, all")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	insts := flag.Uint64("insts", 0, "dynamic instructions per benchmark (0 = default 400k)")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	par := flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 0, "workload-seed replicates averaged per cell (0/1 = single run)")
+	flag.Parse()
+
+	opts := harness.Options{TargetInsts: *insts, Parallelism: *par, Replicates: *reps}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	type experiment struct {
+		name string
+		run  func(harness.Options) (renderable, error)
+	}
+	wrap := func(f func(harness.Options) (*harness.SweepResult, error)) func(harness.Options) (renderable, error) {
+		return func(o harness.Options) (renderable, error) { return f(o) }
+	}
+	wrapA := func(f func(harness.Options) (*harness.AblationResult, error)) func(harness.Options) (renderable, error) {
+		return func(o harness.Options) (renderable, error) { return f(o) }
+	}
+	experiments := []experiment{
+		{"table1", func(o harness.Options) (renderable, error) { return harness.Table1(o) }},
+		{"fig8", func(o harness.Options) (renderable, error) { return harness.Figure8(o) }},
+		{"fig9", wrap(harness.Figure9)},
+		{"fig10", wrap(harness.Figure10)},
+		{"fig11", wrap(harness.Figure11)},
+		{"fig12", wrap(harness.Figure12)},
+		{"paths", func(o harness.Options) (renderable, error) { return harness.Paths(o) }},
+		{"abl-jrswidth", wrapA(harness.AblationJRSWidth)},
+		{"abl-ceindex", wrapA(harness.AblationCEIndex)},
+		{"abl-spechistory", wrapA(harness.AblationSpecHistory)},
+		{"abl-adaptive", wrapA(harness.AblationAdaptive)},
+		{"abl-fetchpolicy", wrapA(harness.AblationFetchPolicy)},
+		{"abl-eagerness", wrapA(harness.AblationEagerness)},
+		{"abl-predictors", wrapA(harness.AblationPredictors)},
+		{"abl-resbuses", wrapA(harness.AblationResolutionBuses)},
+		{"abl-mrc", wrapA(harness.AblationMRC)},
+		{"ext-cache", func(o harness.Options) (renderable, error) { return harness.ExtensionCacheSensitivity(o) }},
+		{"ext-cedesign", func(o harness.Options) (renderable, error) { return harness.ExtensionCEDesignSpace(o) }},
+	}
+
+	selected := map[string]bool{}
+	switch *exp {
+	case "all":
+		for _, e := range experiments {
+			selected[e.name] = true
+		}
+	case "ablations":
+		for _, e := range experiments {
+			if strings.HasPrefix(e.name, "abl-") {
+				selected[e.name] = true
+			}
+		}
+	default:
+		for _, name := range strings.Split(*exp, ",") {
+			selected[name] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !selected[e.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		r, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			blob, err := json.MarshalIndent(map[string]any{"experiment": e.name, "result": r}, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(blob))
+			continue
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), r.Render())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

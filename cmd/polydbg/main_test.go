@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func debugMachine(t *testing.T) *pipeline.Machine {
+	t.Helper()
+	p := isa.MustAssemble(`
+.name dbg
+.data 5 7
+  li r1, 0
+  li r2, 20
+top:
+  load r3, 0(r0)
+  add  r4, r4, r3
+  addi r1, r1, 1
+  blt  r1, r2, top
+  store r4, 8(r0)
+  halt
+`)
+	m, err := pipeline.New(p, core.ConfigSEE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	m := debugMachine(t)
+	var out strings.Builder
+	repl(m, strings.NewReader(script), &out)
+	return out.String()
+}
+
+func TestReplStepAndRun(t *testing.T) {
+	out := drive(t, "step 3\nwindow 4\nrun\nstats\nquit\n")
+	if !strings.Contains(out, "[cyc 3, committed 0]") {
+		t.Errorf("step did not advance 3 cycles:\n%s", out)
+	}
+	if !strings.Contains(out, "machine halted") {
+		t.Errorf("run did not reach halt:\n%s", out)
+	}
+	if !strings.Contains(out, "IPC") {
+		t.Error("stats missing")
+	}
+}
+
+func TestReplWindowAndPaths(t *testing.T) {
+	out := drive(t, "step 8\nwindow 8\npaths\nquit\n")
+	if !strings.Contains(out, "entries in flight") {
+		t.Error("window header missing")
+	}
+	if !strings.Contains(out, "li") {
+		t.Errorf("window should show disassembly:\n%s", out)
+	}
+	if !strings.Contains(out, "path 0") {
+		t.Error("paths listing missing")
+	}
+}
+
+func TestReplRegsMemDisasm(t *testing.T) {
+	out := drive(t, "run\nregs\nmem 8 1\ndisasm 0 3\nquit\n")
+	// r4 accumulates 20 * 5 = 100; mem[8] = 100.
+	if !strings.Contains(out, "r4 =100") && !strings.Contains(out, "r4=100") {
+		// formatting uses r%-2d=
+		if !strings.Contains(out, "=100") {
+			t.Errorf("expected accumulated value 100 in regs/mem:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "[8] = 100") {
+		t.Errorf("mem inspection:\n%s", out)
+	}
+	if !strings.Contains(out, "0: li") {
+		t.Errorf("disasm listing:\n%s", out)
+	}
+}
+
+func TestReplErrorsAndHelp(t *testing.T) {
+	out := drive(t, "bogus\nhelp\nmem\nquit\n")
+	if !strings.Contains(out, `unknown command "bogus"`) {
+		t.Error("unknown command handling")
+	}
+	if !strings.Contains(out, "step [n]") {
+		t.Error("help text")
+	}
+	if !strings.Contains(out, "usage: mem") {
+		t.Error("mem usage")
+	}
+}
+
+func TestReplEOFExits(t *testing.T) {
+	out := drive(t, "step\n") // no quit: EOF must end the loop
+	if out == "" {
+		t.Error("expected prompt output")
+	}
+}

@@ -1,0 +1,135 @@
+// Command polysim runs a single cycle-level simulation of one benchmark
+// under one machine configuration and prints the full statistics report.
+//
+// Usage:
+//
+//	polysim -bench go -model see            # PolyPath SEE (gshare + JRS)
+//	polysim -bench gcc -model monopath      # baseline
+//	polysim -bench perl -model dualpath     # one divergence at a time
+//	polysim -bench go -model oracle         # perfect branch prediction
+//	polysim -bench go -model see-oracle-ce  # SEE with perfect confidence
+//	polysim -bench m88ksim -model adaptive  # SEE + PVN monitor
+//
+// Machine parameters (window size, functional units, pipeline depth,
+// predictor size) can be overridden with flags; defaults are the paper's
+// baseline (Sec. 4.2) with the scaled predictor tables described in
+// DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "go", "benchmark: compress,gcc,perl,go,m88ksim,xlisp,vortex,jpeg")
+	asmFile := flag.String("asm", "", "simulate an assembly file instead of a generated benchmark")
+	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
+	insts := flag.Uint64("insts", 0, "dynamic instructions (0 = default 400k)")
+	window := flag.Int("window", 0, "instruction window size (0 = 256)")
+	depth := flag.Int("depth", 0, "total pipeline depth (0 = 8)")
+	units := flag.Int("units", 0, "functional units of each type (0 = 4)")
+	histBits := flag.Int("histbits", 0, "gshare history bits (0 = scaled baseline 11)")
+	seed := flag.Int64("seed", 0, "workload seed override (0 = benchmark default)")
+	disasm := flag.Bool("disasm", false, "print the generated program and exit")
+	mix := flag.Bool("mix", false, "print the dynamic instruction mix and exit")
+	trace := flag.Uint64("trace", 0, "collect and print pipeline timelines for the first N instructions")
+	flag.Parse()
+
+	var prog *isa.Program
+	if *asmFile != "" {
+		src, err := os.ReadFile(*asmFile)
+		fail(err)
+		prog, err = isa.Assemble(string(src))
+		fail(err)
+		*bench = prog.Name
+	} else {
+		bm, err := workload.ByName(*bench, *insts)
+		fail(err)
+		if *seed != 0 {
+			bm.Spec.Seed = *seed
+		}
+		prog, err = workload.Generate(bm.Spec)
+		fail(err)
+	}
+	if *disasm {
+		fmt.Print(isa.DisasmProgram(prog))
+		return
+	}
+	if *mix {
+		prof, err := isa.ProfileProgram(prog, 1<<26)
+		fail(err)
+		fmt.Print(prof.String())
+		return
+	}
+
+	var cfg core.Config
+	switch *model {
+	case "monopath":
+		cfg = core.ConfigMonopath()
+	case "see":
+		cfg = core.ConfigSEE()
+	case "dualpath":
+		cfg = core.ConfigDualPath()
+	case "oracle":
+		cfg = core.ConfigOracleBP()
+	case "see-oracle-ce":
+		cfg = core.ConfigSEEOracleCE()
+	case "dual-oracle-ce":
+		cfg = core.ConfigDualPathOracleCE()
+	case "adaptive":
+		cfg = core.ConfigSEEAdaptive()
+	case "eager":
+		cfg = core.ConfigSEE()
+		cfg.Confidence.Kind = pipeline.ConfAlwaysLow
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+	if *window > 0 {
+		cfg.WindowSize = *window
+		cfg.PhysRegs, cfg.Checkpoints = 0, 0
+	}
+	if *depth > 0 {
+		cfg.FrontEndStages = *depth - 3
+	}
+	if *units > 0 {
+		cfg.NumIntType0, cfg.NumIntType1 = *units, *units
+		cfg.NumFPAdd, cfg.NumFPMul, cfg.NumMemPorts = *units, *units, *units
+	}
+	if *histBits > 0 {
+		cfg.Predictor.HistBits = *histBits
+		cfg.Confidence.IndexBits = *histBits
+	}
+
+	var pt *pipeline.PipeTrace
+	if *trace > 0 {
+		pt = pipeline.NewPipeTrace(*trace)
+	}
+	var res *core.Result
+	var err2 error
+	if pt != nil {
+		res, err2 = core.RunWithTracer(prog, cfg, pt)
+	} else {
+		res, err2 = core.Run(prog, cfg)
+	}
+	fail(err2)
+	fmt.Printf("benchmark %s, model %s (architectural state verified: %v)\n\n%s",
+		*bench, *model, res.Verified, res.Stats.Summary())
+	if pt != nil {
+		fmt.Println()
+		fail(pt.Render(os.Stdout))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(1)
+	}
+}

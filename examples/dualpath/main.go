@@ -1,0 +1,55 @@
+// Dual-path study: restrict PolyPath to a single divergence (3 paths) as
+// in Sec. 5.2 and compare against unrestricted SEE, reporting the path
+// utilization histogram that explains why dual-path captures a large
+// fraction of SEE's improvement.
+//
+//	go run ./examples/dualpath
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("benchmark   monopath     dual-path       SEE    dual/SEE-gain   avg-paths  <=3-paths")
+	var sumFrac float64
+	var counted int
+	for _, name := range []string{"compress", "gcc", "perl", "go"} {
+		bm, err := workload.ByName(name, 300_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := workload.Generate(bm.Spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mono, err := core.Run(prog, core.ConfigMonopath())
+		if err != nil {
+			log.Fatal(err)
+		}
+		dual, err := core.Run(prog, core.ConfigDualPath())
+		if err != nil {
+			log.Fatal(err)
+		}
+		see, err := core.Run(prog, core.ConfigSEE())
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac := 0.0
+		if see.IPC != mono.IPC {
+			frac = (dual.IPC - mono.IPC) / (see.IPC - mono.IPC)
+		}
+		sumFrac += frac
+		counted++
+		fmt.Printf("%-10s %9.3f %12.3f %9.3f %14.0f%% %11.2f %9.0f%%\n",
+			name, mono.IPC, dual.IPC, see.IPC, 100*frac,
+			see.Stats.AvgPaths(), 100*see.Stats.PathsAtMost(3))
+	}
+	fmt.Printf("\ndual-path captures on average %.0f%% of SEE's improvement here\n", 100*sumFrac/float64(counted))
+	fmt.Println("(the paper reports 66% for the real estimator, explained by SEE")
+	fmt.Println("using 3 or fewer paths about three quarters of the time)")
+}

@@ -1,0 +1,165 @@
+// Package bpred implements the branch predictors used in the paper's
+// evaluation: the gshare predictor of McFarling (the baseline, Sec. 4.2),
+// plus bimodal and static predictors for comparison studies.
+//
+// The global history register itself is owned by the pipeline, because in
+// the PolyPath architecture each execution path carries its own
+// speculatively-updated history copy (children of a divergence inherit the
+// parent's history extended with their direction, and misprediction
+// recovery restores the history checkpointed with the branch). Predictors
+// here are pure pattern tables: given (pc, history) they predict, and at
+// commit time they are trained with the history that was live at
+// prediction.
+package bpred
+
+import "fmt"
+
+// Predictor is a direction predictor for conditional branches.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc, given
+	// the global history at prediction time.
+	Predict(pc int, hist uint64) bool
+	// Update trains the predictor with the resolved outcome. hist must be
+	// the same history value passed to Predict for this dynamic branch.
+	Update(pc int, hist uint64, taken bool)
+	// StateBytes returns the predictor's hardware state budget in bytes,
+	// used for the equal-area comparison of Fig. 9.
+	StateBytes() int
+	// Reset clears all learned state.
+	Reset()
+}
+
+// counter2 semantics: 0,1 predict not-taken; 2,3 predict taken.
+func ctrPredict(c uint8) bool { return c >= 2 }
+
+func ctrUpdate(c uint8, taken bool) uint8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// Gshare is McFarling's gshare predictor: global history XOR branch address
+// indexes a table of 2-bit saturating counters. The paper's baseline uses
+// 14 bits of history and 16k counters.
+type Gshare struct {
+	histBits int
+	mask     uint64
+	table    []uint8
+}
+
+// NewGshare creates a gshare predictor with 2^histBits two-bit counters.
+func NewGshare(histBits int) *Gshare {
+	if histBits < 1 || histBits > 28 {
+		panic(fmt.Sprintf("bpred: gshare history bits %d out of range [1,28]", histBits))
+	}
+	return &Gshare{
+		histBits: histBits,
+		mask:     (1 << uint(histBits)) - 1,
+		table:    make([]uint8, 1<<uint(histBits)),
+	}
+}
+
+// HistBits returns the history length (= log2 table size).
+func (g *Gshare) HistBits() int { return g.histBits }
+
+func (g *Gshare) index(pc int, hist uint64) uint64 {
+	return (uint64(pc) ^ hist) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc int, hist uint64) bool {
+	return ctrPredict(g.table[g.index(pc, hist)])
+}
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc int, hist uint64, taken bool) {
+	i := g.index(pc, hist)
+	g.table[i] = ctrUpdate(g.table[i], taken)
+}
+
+// StateBytes implements Predictor: 2 bits per counter.
+func (g *Gshare) StateBytes() int { return len(g.table) / 4 }
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+}
+
+// Bimodal is a per-address table of 2-bit counters (no history).
+type Bimodal struct {
+	mask  uint64
+	table []uint8
+}
+
+// NewBimodal creates a bimodal predictor with 2^indexBits counters.
+func NewBimodal(indexBits int) *Bimodal {
+	if indexBits < 1 || indexBits > 28 {
+		panic(fmt.Sprintf("bpred: bimodal index bits %d out of range [1,28]", indexBits))
+	}
+	return &Bimodal{
+		mask:  (1 << uint(indexBits)) - 1,
+		table: make([]uint8, 1<<uint(indexBits)),
+	}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc int, _ uint64) bool {
+	return ctrPredict(b.table[uint64(pc)&b.mask])
+}
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc int, _ uint64, taken bool) {
+	i := uint64(pc) & b.mask
+	b.table[i] = ctrUpdate(b.table[i], taken)
+}
+
+// StateBytes implements Predictor.
+func (b *Bimodal) StateBytes() int { return len(b.table) / 4 }
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// Static predicts backward branches taken and forward branches not taken
+// (BTFNT). It needs the branch target, so the pipeline constructs it with
+// a target lookup function.
+type Static struct {
+	// TargetOf returns the target instruction index for the branch at pc.
+	TargetOf func(pc int) int
+}
+
+// Predict implements Predictor: taken iff the target is at or before pc.
+func (s *Static) Predict(pc int, _ uint64) bool { return s.TargetOf(pc) <= pc }
+
+// Update implements Predictor (no state).
+func (s *Static) Update(int, uint64, bool) {}
+
+// StateBytes implements Predictor.
+func (s *Static) StateBytes() int { return 0 }
+
+// Reset implements Predictor.
+func (s *Static) Reset() {}
+
+// PushHistory returns hist shifted left with the new outcome in the low
+// bit. Paths use this for speculative history update at prediction time
+// (Sec. 4.2: "the global history is speculatively updated at branch
+// prediction with the predicted branch outcome").
+func PushHistory(hist uint64, taken bool) uint64 {
+	hist <<= 1
+	if taken {
+		hist |= 1
+	}
+	return hist
+}

@@ -1,0 +1,223 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := uint8(0)
+	for i := 0; i < 10; i++ {
+		c = ctrUpdate(c, true)
+	}
+	if c != 3 {
+		t.Errorf("counter saturates high at 3, got %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = ctrUpdate(c, false)
+	}
+	if c != 0 {
+		t.Errorf("counter saturates low at 0, got %d", c)
+	}
+}
+
+func TestCounterHysteresis(t *testing.T) {
+	// Strongly taken counter must survive a single not-taken outcome.
+	c := uint8(3)
+	c = ctrUpdate(c, false)
+	if !ctrPredict(c) {
+		t.Error("one not-taken must not flip a strongly-taken counter")
+	}
+	c = ctrUpdate(c, false)
+	if ctrPredict(c) {
+		t.Error("two not-taken must flip the prediction")
+	}
+}
+
+func TestGshareLearnsBiasedBranch(t *testing.T) {
+	g := NewGshare(10)
+	pc := 1234
+	hist := uint64(0)
+	for i := 0; i < 8; i++ {
+		g.Update(pc, hist, true)
+	}
+	if !g.Predict(pc, hist) {
+		t.Error("gshare should predict taken after training")
+	}
+}
+
+func TestGshareSeparatesByHistory(t *testing.T) {
+	g := NewGshare(10)
+	pc := 77
+	// Same PC, two histories, opposite outcomes: both must be learnable.
+	for i := 0; i < 4; i++ {
+		g.Update(pc, 0b1010, true)
+		g.Update(pc, 0b0101, false)
+	}
+	if !g.Predict(pc, 0b1010) || g.Predict(pc, 0b0101) {
+		t.Error("gshare must separate contexts by history")
+	}
+}
+
+func TestGshareLearnsPatternWithHistory(t *testing.T) {
+	// A period-4 pattern TTTN is perfectly predictable once each history
+	// context's counter trains.
+	g := NewGshare(12)
+	pc := 3
+	pattern := []bool{true, true, true, false}
+	hist := uint64(0)
+	mispred := 0
+	for i := 0; i < 4000; i++ {
+		taken := pattern[i%4]
+		if g.Predict(pc, hist) != taken && i > 100 {
+			mispred++
+		}
+		g.Update(pc, hist, taken)
+		hist = PushHistory(hist, taken)
+	}
+	if mispred > 0 {
+		t.Errorf("gshare mispredicted trained pattern %d times", mispred)
+	}
+}
+
+func TestGshareRandomBranchNearFiftyPercent(t *testing.T) {
+	g := NewGshare(14)
+	rng := rand.New(rand.NewSource(7))
+	hist := uint64(0)
+	mispred := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		taken := rng.Intn(2) == 0
+		if g.Predict(100, hist) != taken {
+			mispred++
+		}
+		g.Update(100, hist, taken)
+		hist = PushHistory(hist, taken)
+	}
+	rate := float64(mispred) / float64(n)
+	if rate < 0.40 || rate > 0.60 {
+		t.Errorf("random branch misprediction rate = %.3f, want ~0.5", rate)
+	}
+}
+
+func TestGshareStateBytes(t *testing.T) {
+	// Paper baseline: 14-bit history, 16k 2-bit counters = 4 kB.
+	g := NewGshare(14)
+	if g.StateBytes() != 4096 {
+		t.Errorf("StateBytes = %d, want 4096", g.StateBytes())
+	}
+	if g.HistBits() != 14 {
+		t.Errorf("HistBits = %d", g.HistBits())
+	}
+}
+
+func TestGshareReset(t *testing.T) {
+	g := NewGshare(8)
+	for i := 0; i < 8; i++ {
+		g.Update(5, 0, true)
+	}
+	g.Reset()
+	if g.Predict(5, 0) {
+		t.Error("reset predictor should predict not-taken")
+	}
+}
+
+func TestGshareBoundsPanic(t *testing.T) {
+	for _, bits := range []int{0, 29} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d: expected panic", bits)
+				}
+			}()
+			NewGshare(bits)
+		}()
+	}
+}
+
+func TestBimodalIgnoresHistory(t *testing.T) {
+	b := NewBimodal(10)
+	for i := 0; i < 4; i++ {
+		b.Update(50, 0xDEAD, true)
+	}
+	if !b.Predict(50, 0xBEEF) {
+		t.Error("bimodal must ignore history")
+	}
+	if b.StateBytes() != 256 {
+		t.Errorf("StateBytes = %d, want 256", b.StateBytes())
+	}
+	b.Reset()
+	if b.Predict(50, 0) {
+		t.Error("reset")
+	}
+}
+
+func TestBimodalBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBimodal(0)
+}
+
+func TestStaticBTFNT(t *testing.T) {
+	targets := map[int]int{10: 2, 20: 35}
+	s := &Static{TargetOf: func(pc int) int { return targets[pc] }}
+	if !s.Predict(10, 0) {
+		t.Error("backward branch should predict taken")
+	}
+	if s.Predict(20, 0) {
+		t.Error("forward branch should predict not-taken")
+	}
+	s.Update(10, 0, false) // no-op
+	if s.StateBytes() != 0 {
+		t.Error("static predictor has no state")
+	}
+	s.Reset()
+}
+
+func TestPushHistory(t *testing.T) {
+	h := uint64(0)
+	h = PushHistory(h, true)
+	h = PushHistory(h, false)
+	h = PushHistory(h, true)
+	if h != 0b101 {
+		t.Errorf("history = %b, want 101", h)
+	}
+}
+
+// Property: prediction is a pure function of (pc, hist) between updates.
+func TestPredictPure(t *testing.T) {
+	g := NewGshare(12)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		g.Update(rng.Intn(4096), rng.Uint64(), rng.Intn(2) == 0)
+	}
+	f := func(pc uint16, hist uint64) bool {
+		p := int(pc)
+		return g.Predict(p, hist) == g.Predict(p, hist)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: updates to one index never change predictions whose index
+// differs (aliasing only through the masked xor index).
+func TestUpdateLocality(t *testing.T) {
+	g := NewGshare(10)
+	idx := func(pc int, hist uint64) uint64 { return (uint64(pc) ^ hist) & g.mask }
+	f := func(pc1, pc2 uint16, h1, h2 uint64, taken bool) bool {
+		if idx(int(pc1), h1) == idx(int(pc2), h2) {
+			return true // same table entry, skip
+		}
+		before := g.Predict(int(pc2), h2)
+		g.Update(int(pc1), h1, taken)
+		return g.Predict(int(pc2), h2) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

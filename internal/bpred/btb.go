@@ -1,0 +1,69 @@
+package bpred
+
+import "fmt"
+
+// BTB is a direct-mapped branch target buffer used to predict indirect
+// jump targets (switch tables, function-pointer dispatch). Each entry
+// holds a tag (the full PC) and the last observed target for that PC.
+type BTB struct {
+	mask    uint64
+	tags    []int32
+	targets []int32
+	valid   []bool
+	hits    uint64
+	misses  uint64
+}
+
+// NewBTB creates a BTB with 2^indexBits entries.
+func NewBTB(indexBits int) *BTB {
+	if indexBits < 1 || indexBits > 20 {
+		panic(fmt.Sprintf("bpred: BTB index bits %d out of range [1,20]", indexBits))
+	}
+	n := 1 << uint(indexBits)
+	return &BTB{
+		mask:    uint64(n - 1),
+		tags:    make([]int32, n),
+		targets: make([]int32, n),
+		valid:   make([]bool, n),
+	}
+}
+
+// Predict returns the predicted target for the indirect jump at pc.
+// ok is false on a BTB miss (no prediction available); the front end then
+// stalls the path until the jump resolves, like a real fetch unit with no
+// target to follow.
+func (b *BTB) Predict(pc int) (target int, ok bool) {
+	i := uint64(pc) & b.mask
+	if b.valid[i] && b.tags[i] == int32(pc) {
+		b.hits++
+		return int(b.targets[i]), true
+	}
+	b.misses++
+	return 0, false
+}
+
+// Update records the resolved target for pc (last-target prediction).
+func (b *BTB) Update(pc, target int) {
+	i := uint64(pc) & b.mask
+	b.tags[i] = int32(pc)
+	b.targets[i] = int32(target)
+	b.valid[i] = true
+}
+
+// Hits returns lookup hits.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// Misses returns lookup misses.
+func (b *BTB) Misses() uint64 { return b.misses }
+
+// StateBytes returns the hardware budget (tag + target + valid per entry,
+// 32-bit fields).
+func (b *BTB) StateBytes() int { return len(b.tags) * 9 }
+
+// Reset clears all entries and statistics.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	b.hits, b.misses = 0, 0
+}

@@ -1,0 +1,125 @@
+package bpred
+
+import "fmt"
+
+// Local is a two-level local-history predictor (PAg-style): a table of
+// per-branch history registers indexes a shared table of 2-bit counters.
+type Local struct {
+	histBits  int
+	histories []uint16
+	table     []uint8
+	histMask  uint64
+	pcMask    uint64
+}
+
+// NewLocal creates a local predictor with 2^pcBits history registers of
+// histBits bits each, and a 2^histBits counter table.
+func NewLocal(pcBits, histBits int) *Local {
+	if pcBits < 1 || pcBits > 20 || histBits < 1 || histBits > 16 {
+		panic(fmt.Sprintf("bpred: local predictor bits out of range (pc %d, hist %d)", pcBits, histBits))
+	}
+	return &Local{
+		histBits:  histBits,
+		histories: make([]uint16, 1<<uint(pcBits)),
+		table:     make([]uint8, 1<<uint(histBits)),
+		histMask:  (1 << uint(histBits)) - 1,
+		pcMask:    (1 << uint(pcBits)) - 1,
+	}
+}
+
+func (l *Local) localHist(pc int) uint64 {
+	return uint64(l.histories[uint64(pc)&l.pcMask]) & l.histMask
+}
+
+// Predict implements Predictor. The global history argument is unused:
+// local predictors keep per-branch histories, which are updated at Update
+// time (commit), making the predictor immune to wrong-path pollution but
+// slightly stale — a standard modeling choice.
+func (l *Local) Predict(pc int, _ uint64) bool {
+	return ctrPredict(l.table[l.localHist(pc)])
+}
+
+// Update implements Predictor.
+func (l *Local) Update(pc int, _ uint64, taken bool) {
+	h := l.localHist(pc)
+	l.table[h] = ctrUpdate(l.table[h], taken)
+	idx := uint64(pc) & l.pcMask
+	nh := uint64(l.histories[idx]) << 1
+	if taken {
+		nh |= 1
+	}
+	l.histories[idx] = uint16(nh & l.histMask)
+}
+
+// StateBytes implements Predictor.
+func (l *Local) StateBytes() int {
+	return len(l.table)/4 + len(l.histories)*l.histBits/8
+}
+
+// Reset implements Predictor.
+func (l *Local) Reset() {
+	for i := range l.table {
+		l.table[i] = 0
+	}
+	for i := range l.histories {
+		l.histories[i] = 0
+	}
+}
+
+// Combining is McFarling's combining predictor: two component predictors
+// plus a chooser table of 2-bit counters indexed by PC that learns which
+// component to trust per branch.
+type Combining struct {
+	p1, p2  Predictor
+	chooser []uint8
+	pcMask  uint64
+}
+
+// NewCombining builds a combining predictor with a 2^chooserBits chooser.
+func NewCombining(p1, p2 Predictor, chooserBits int) *Combining {
+	if chooserBits < 1 || chooserBits > 20 {
+		panic(fmt.Sprintf("bpred: chooser bits %d out of range", chooserBits))
+	}
+	return &Combining{
+		p1:      p1,
+		p2:      p2,
+		chooser: make([]uint8, 1<<uint(chooserBits)),
+		pcMask:  (1 << uint(chooserBits)) - 1,
+	}
+}
+
+// Predict implements Predictor: the chooser's counter selects p2 when it
+// is high, p1 when low.
+func (c *Combining) Predict(pc int, hist uint64) bool {
+	if ctrPredict(c.chooser[uint64(pc)&c.pcMask]) {
+		return c.p2.Predict(pc, hist)
+	}
+	return c.p1.Predict(pc, hist)
+}
+
+// Update implements Predictor: both components train; the chooser moves
+// toward the component that was right when they disagree.
+func (c *Combining) Update(pc int, hist uint64, taken bool) {
+	d1 := c.p1.Predict(pc, hist)
+	d2 := c.p2.Predict(pc, hist)
+	if d1 != d2 {
+		i := uint64(pc) & c.pcMask
+		c.chooser[i] = ctrUpdate(c.chooser[i], d2 == taken)
+	}
+	c.p1.Update(pc, hist, taken)
+	c.p2.Update(pc, hist, taken)
+}
+
+// StateBytes implements Predictor.
+func (c *Combining) StateBytes() int {
+	return c.p1.StateBytes() + c.p2.StateBytes() + len(c.chooser)/4
+}
+
+// Reset implements Predictor.
+func (c *Combining) Reset() {
+	c.p1.Reset()
+	c.p2.Reset()
+	for i := range c.chooser {
+		c.chooser[i] = 0
+	}
+}

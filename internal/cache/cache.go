@@ -1,0 +1,147 @@
+// Package cache implements a set-associative cache model with LRU
+// replacement, used by the pipeline as an optional replacement for the
+// paper's always-hit cache assumption (Sec. 4.2: "Accesses to both caches
+// always hit in the cache").
+//
+// The model is a timing filter, not a data store: the simulator's memory
+// values live in the architectural memory image; the cache only decides
+// whether an access hits (and therefore which latency applies). That is
+// the same role caches play in the paper's AINT-based simulator family.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	// Sets is the number of sets (power of two).
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// LineWords is the line size in 64-bit words (power of two).
+	LineWords int
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: ways %d must be positive", c.Ways)
+	}
+	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("cache: line words %d must be a positive power of two", c.LineWords)
+	}
+	return nil
+}
+
+// SizeWords returns the cache capacity in 64-bit words.
+func (c Config) SizeWords() int { return c.Sets * c.Ways * c.LineWords }
+
+// Cache is a set-associative LRU cache directory.
+type Cache struct {
+	cfg      Config
+	tags     [][]uint64 // [set][way]
+	valid    [][]bool
+	lru      [][]uint64 // last-use stamp per way
+	stamp    uint64
+	hits     uint64
+	misses   uint64
+	lineMask uint64
+	setMask  uint64
+}
+
+// New builds a cache; invalid configurations panic (they are programmer
+// errors — Config.Validate is the checked path).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		tags:     make([][]uint64, cfg.Sets),
+		valid:    make([][]bool, cfg.Sets),
+		lru:      make([][]uint64, cfg.Sets),
+		lineMask: uint64(cfg.LineWords - 1),
+		setMask:  uint64(cfg.Sets - 1),
+	}
+	for s := range c.tags {
+		c.tags[s] = make([]uint64, cfg.Ways)
+		c.valid[s] = make([]bool, cfg.Ways)
+		c.lru[s] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+func (c *Cache) locate(wordAddr int) (set int, tag uint64) {
+	line := uint64(wordAddr) &^ c.lineMask
+	idx := (line / uint64(c.cfg.LineWords)) & c.setMask
+	return int(idx), line
+}
+
+// Access looks up wordAddr, updating LRU state and, on a miss, allocating
+// the line (evicting the LRU way). It returns whether the access hit.
+func (c *Cache) Access(wordAddr int) bool {
+	c.stamp++
+	set, tag := c.locate(wordAddr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.stamp
+	return false
+}
+
+// Probe reports whether wordAddr would hit, without updating any state.
+func (c *Cache) Probe(wordAddr int) bool {
+	set, tag := c.locate(wordAddr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+			c.tags[s][w] = 0
+		}
+	}
+	c.stamp, c.hits, c.misses = 0, 0, 0
+}

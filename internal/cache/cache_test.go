@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Sets: 64, Ways: 2, LineWords: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.SizeWords() != 512 {
+		t.Errorf("size = %d", good.SizeWords())
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 1, LineWords: 1},
+		{Sets: 3, Ways: 1, LineWords: 1},
+		{Sets: 4, Ways: 0, LineWords: 1},
+		{Sets: 4, Ways: 1, LineWords: 0},
+		{Sets: 4, Ways: 1, LineWords: 3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{Sets: 16, Ways: 2, LineWords: 4})
+	if c.Access(100) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(100) {
+		t.Error("second access must hit")
+	}
+	// Same line, different word: hit.
+	if !c.Access(101) {
+		t.Error("same-line access must hit")
+	}
+	// Different line: miss.
+	if c.Access(100 + 4) {
+		t.Error("next line must miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 1 set, 2 ways, line 1 word. Three distinct lines
+	// thrash; the least recently used must be evicted.
+	c := New(Config{Sets: 1, Ways: 2, LineWords: 1})
+	c.Access(0) // miss, allocate
+	c.Access(1) // miss, allocate
+	c.Access(0) // hit, refresh 0
+	c.Access(2) // miss, evicts 1 (LRU)
+	if !c.Probe(0) {
+		t.Error("line 0 should survive (recently used)")
+	}
+	if c.Probe(1) {
+		t.Error("line 1 should be evicted")
+	}
+	if !c.Probe(2) {
+		t.Error("line 2 should be present")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 1, LineWords: 1})
+	c.Access(0)
+	h, m := c.Hits(), c.Misses()
+	c.Probe(0)
+	c.Probe(99)
+	if c.Hits() != h || c.Misses() != m {
+		t.Error("probe must not change statistics")
+	}
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	// A working set equal to the cache size must reach 100% hits after
+	// the first pass, regardless of access order.
+	cfg := Config{Sets: 8, Ways: 2, LineWords: 4}
+	c := New(cfg)
+	words := cfg.SizeWords()
+	for a := 0; a < words; a++ {
+		c.Access(a)
+	}
+	c2hits := c.Hits()
+	for pass := 0; pass < 3; pass++ {
+		for a := 0; a < words; a++ {
+			if !c.Access(a) {
+				t.Fatalf("pass %d: address %d missed in a fitting working set", pass, a)
+			}
+		}
+	}
+	if c.Hits() <= c2hits {
+		t.Error("no hits recorded on repeat passes")
+	}
+}
+
+func TestThrashingWorkingSetMisses(t *testing.T) {
+	// A working set of N+1 lines mapping into one set of N ways, accessed
+	// cyclically, must miss every time (classic LRU pathology).
+	c := New(Config{Sets: 1, Ways: 4, LineWords: 1})
+	for i := 0; i < 50; i++ {
+		if c.Access(i % 5) {
+			t.Fatalf("access %d hit; cyclic over-capacity set must always miss under LRU", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{Sets: 4, Ways: 2, LineWords: 2})
+	c.Access(10)
+	c.Access(10)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.HitRate() != 0 {
+		t.Error("reset must clear stats")
+	}
+	if c.Probe(10) {
+		t.Error("reset must invalidate lines")
+	}
+}
+
+// Property: Access is consistent with Probe — after Access(a), Probe(a)
+// is true until enough conflicting lines evict it.
+func TestAccessProbeConsistency(t *testing.T) {
+	c := New(Config{Sets: 16, Ways: 2, LineWords: 2})
+	f := func(addr uint16) bool {
+		a := int(addr)
+		c.Access(a)
+		return c.Probe(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit rate of a small random working set rises with capacity.
+func TestHitRateGrowsWithCapacity(t *testing.T) {
+	run := func(sets int) float64 {
+		c := New(Config{Sets: sets, Ways: 2, LineWords: 4})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 20000; i++ {
+			c.Access(rng.Intn(2048))
+		}
+		return c.HitRate()
+	}
+	small, large := run(8), run(128)
+	if large <= small {
+		t.Errorf("hit rate should grow with capacity: %0.3f vs %0.3f", small, large)
+	}
+}

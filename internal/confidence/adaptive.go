@@ -1,0 +1,120 @@
+package confidence
+
+// Adaptive wraps an underlying estimator and monitors its PVN (predictive
+// value of a negative test: the fraction of low-confidence estimates that
+// are actually mispredictions) over a sliding window of resolved branches.
+// When the observed PVN drops below MinPVN, the estimator reverts to strict
+// monopath behaviour (always signalling high confidence) while continuing
+// to monitor its *shadow* decisions, and re-enables eager execution once
+// the shadow PVN recovers.
+//
+// This is exactly the mechanism the paper derives from the m88ksim anomaly
+// (Sec. 5.1): "a successful branch confidence estimator for SEE should be
+// able to monitor its performance dynamically and revert back to strict
+// monopath execution if it makes too many errors."
+type Adaptive struct {
+	inner Estimator
+	// MinPVN is the PVN below which eager execution is disabled.
+	minPVN float64
+	// window is the number of low-confidence resolutions over which PVN is
+	// measured.
+	window int
+
+	lowRing  []bool // ring buffer: was each recent low-confidence estimate a mispredict?
+	ringPos  int
+	ringFill int
+	misses   int // mispredicts among the ring contents
+	disabled bool
+}
+
+// AdaptiveConfig configures an Adaptive estimator.
+type AdaptiveConfig struct {
+	// MinPVN disables divergence while measured PVN is below it.
+	// The paper's data suggests ~0.30: every benchmark with PVN >= 40%
+	// gains from SEE, m88ksim at 16% loses.
+	MinPVN float64
+	// Window is the number of recent low-confidence branches tracked.
+	Window int
+}
+
+// NewAdaptive wraps inner with PVN monitoring.
+func NewAdaptive(inner Estimator, cfg AdaptiveConfig) *Adaptive {
+	if cfg.MinPVN <= 0 || cfg.MinPVN >= 1 {
+		panic("confidence: adaptive MinPVN must be in (0,1)")
+	}
+	if cfg.Window < 8 {
+		panic("confidence: adaptive window must be at least 8")
+	}
+	return &Adaptive{
+		inner:   inner,
+		minPVN:  cfg.MinPVN,
+		window:  cfg.Window,
+		lowRing: make([]bool, cfg.Window),
+	}
+}
+
+// Disabled reports whether the estimator is currently suppressing
+// divergence (monopath fallback active).
+func (a *Adaptive) Disabled() bool { return a.disabled }
+
+// Estimate implements Estimator. While disabled it reports high confidence
+// regardless of the inner estimate; the inner (shadow) estimate continues
+// to be trained and monitored through Update.
+func (a *Adaptive) Estimate(pc int, hist uint64, predTaken bool, hint Hint) bool {
+	if a.inner.Estimate(pc, hist, predTaken, hint) {
+		return true
+	}
+	return a.disabled
+}
+
+// Update implements Estimator. It trains the inner estimator and tracks
+// the shadow decision's accuracy to adapt the disabled state.
+func (a *Adaptive) Update(pc int, hist uint64, predTaken bool, correct bool) {
+	shadowLow := !a.inner.Estimate(pc, hist, predTaken, Hint{})
+	a.inner.Update(pc, hist, predTaken, correct)
+	if !shadowLow {
+		return
+	}
+	// Record this low-confidence event in the ring.
+	miss := !correct
+	if a.ringFill == a.window {
+		if a.lowRing[a.ringPos] {
+			a.misses--
+		}
+	} else {
+		a.ringFill++
+	}
+	a.lowRing[a.ringPos] = miss
+	if miss {
+		a.misses++
+	}
+	a.ringPos = (a.ringPos + 1) % a.window
+	// Only adapt once the window is reasonably full.
+	if a.ringFill >= a.window/2 {
+		pvn := float64(a.misses) / float64(a.ringFill)
+		a.disabled = pvn < a.minPVN
+	}
+}
+
+// PVN returns the currently measured shadow PVN and the number of samples
+// backing it.
+func (a *Adaptive) PVN() (pvn float64, samples int) {
+	if a.ringFill == 0 {
+		return 0, 0
+	}
+	return float64(a.misses) / float64(a.ringFill), a.ringFill
+}
+
+// StateBytes implements Estimator: the inner table plus the monitor ring
+// (1 bit per entry) and counters.
+func (a *Adaptive) StateBytes() int { return a.inner.StateBytes() + a.window/8 + 4 }
+
+// Reset implements Estimator.
+func (a *Adaptive) Reset() {
+	a.inner.Reset()
+	for i := range a.lowRing {
+		a.lowRing[i] = false
+	}
+	a.ringPos, a.ringFill, a.misses = 0, 0, 0
+	a.disabled = false
+}

@@ -1,0 +1,198 @@
+// Package confidence implements branch confidence estimation for selective
+// eager execution, centered on the Jacobsen-Rotenberg-Smith (JRS) one-level
+// estimator with resetting counters used in the paper (Sec. 4.2), plus the
+// oracle and degenerate estimators used for calibration, and the adaptive
+// PVN-monitoring estimator the paper's Sec. 5.1 proposes as future work.
+//
+// The paper's two JRS modifications are both implemented:
+//
+//   - 1-bit resetting counters instead of the 4-bit counters Jacobsen et al
+//     advocate (higher PVN, the design parameter that matters for SEE);
+//   - enhanced indexing that includes the speculative outcome of the
+//     current branch in the global history used to index the counter table.
+package confidence
+
+// Hint optionally carries the actual branch outcome to an estimator.
+type Hint struct {
+	// Known reports whether the actual outcome of the branch is known at
+	// estimation time. Only the oracle estimator uses it; the pipeline can
+	// supply it when fetch is on the architecturally correct path.
+	Known bool
+	// Taken is the actual outcome (meaningful only if Known).
+	Taken bool
+}
+
+// Estimator assesses the quality of an individual branch prediction.
+// Estimate returns true for high confidence (follow the prediction,
+// monopath style) and false for low confidence (diverge and eagerly
+// execute both successor paths).
+type Estimator interface {
+	Estimate(pc int, hist uint64, predTaken bool, hint Hint) bool
+	// Update trains the estimator at branch resolution with whether the
+	// prediction was correct. hist and predTaken must be the values that
+	// were live at estimation time.
+	Update(pc int, hist uint64, predTaken bool, correct bool)
+	// StateBytes returns the estimator's hardware budget in bytes (for the
+	// equal-area comparison of Fig. 9).
+	StateBytes() int
+	// Reset clears learned state.
+	Reset()
+}
+
+// JRS is the one-level resetting-counter estimator of Jacobsen, Rotenberg
+// and Smith (MICRO '96). Each counter counts correct predictions since the
+// last misprediction at that index; a branch is high-confidence when its
+// counter has reached the threshold.
+type JRS struct {
+	indexBits int
+	ctrBits   int
+	threshold uint8
+	enhanced  bool // include predTaken in the index (the paper's enhancement)
+	mask      uint64
+	table     []uint8
+	maxCtr    uint8
+}
+
+// JRSConfig configures a JRS estimator.
+type JRSConfig struct {
+	// IndexBits is log2 of the counter table size. The paper sizes this
+	// equal to the branch predictor's table.
+	IndexBits int
+	// CtrBits is the counter width; the paper found 1-bit counters give
+	// the best PVN for SEE (Jacobsen et al used 4).
+	CtrBits int
+	// Threshold is the counter value at which a prediction counts as high
+	// confidence. Defaults to the counter maximum (saturation) when 0.
+	Threshold int
+	// EnhancedIndex includes the speculative outcome of the current branch
+	// in the history used to index the table (paper Sec. 4.2: "resulted in
+	// a substantial performance improvement").
+	EnhancedIndex bool
+}
+
+// NewJRS creates a JRS estimator.
+func NewJRS(cfg JRSConfig) *JRS {
+	if cfg.IndexBits < 1 || cfg.IndexBits > 28 {
+		panic("confidence: JRS index bits out of range [1,28]")
+	}
+	if cfg.CtrBits < 1 || cfg.CtrBits > 8 {
+		panic("confidence: JRS counter bits out of range [1,8]")
+	}
+	maxCtr := uint8(1)<<uint(cfg.CtrBits) - 1
+	thr := uint8(cfg.Threshold)
+	if cfg.Threshold == 0 {
+		thr = maxCtr
+	}
+	if thr > maxCtr {
+		panic("confidence: JRS threshold exceeds counter maximum")
+	}
+	j := &JRS{
+		indexBits: cfg.IndexBits,
+		ctrBits:   cfg.CtrBits,
+		threshold: thr,
+		enhanced:  cfg.EnhancedIndex,
+		mask:      (1 << uint(cfg.IndexBits)) - 1,
+		table:     make([]uint8, 1<<uint(cfg.IndexBits)),
+		maxCtr:    maxCtr,
+	}
+	j.Reset()
+	return j
+}
+
+func (j *JRS) index(pc int, hist uint64, predTaken bool) uint64 {
+	if j.enhanced {
+		hist <<= 1
+		if predTaken {
+			hist |= 1
+		}
+	}
+	return (uint64(pc) ^ hist) & j.mask
+}
+
+// Estimate implements Estimator.
+func (j *JRS) Estimate(pc int, hist uint64, predTaken bool, _ Hint) bool {
+	return j.table[j.index(pc, hist, predTaken)] >= j.threshold
+}
+
+// Update implements Estimator: correct predictions saturate the counter
+// upward; a misprediction resets it to zero.
+func (j *JRS) Update(pc int, hist uint64, predTaken bool, correct bool) {
+	i := j.index(pc, hist, predTaken)
+	if correct {
+		if j.table[i] < j.maxCtr {
+			j.table[i]++
+		}
+	} else {
+		j.table[i] = 0
+	}
+}
+
+// StateBytes implements Estimator.
+func (j *JRS) StateBytes() int { return len(j.table) * j.ctrBits / 8 }
+
+// Reset implements Estimator. Counters initialize saturated (high
+// confidence): an index that has never seen a misprediction is treated as
+// confident, so unvisited (cold) contexts — abundant on wrong-path fetch
+// streams — do not trigger spurious divergences.
+func (j *JRS) Reset() {
+	for i := range j.table {
+		j.table[i] = j.maxCtr
+	}
+}
+
+// Oracle is the perfect confidence estimator of Sec. 5.1 ("gshare/oracle"):
+// it signals low confidence exactly when the prediction is wrong. It needs
+// the actual outcome via Hint; when the outcome is unknown (wrong-path
+// fetch) it reports high confidence, which is harmless because those
+// instructions are killed anyway.
+type Oracle struct{}
+
+// Estimate implements Estimator.
+func (Oracle) Estimate(_ int, _ uint64, predTaken bool, hint Hint) bool {
+	if !hint.Known {
+		return true
+	}
+	return predTaken == hint.Taken
+}
+
+// Update implements Estimator.
+func (Oracle) Update(int, uint64, bool, bool) {}
+
+// StateBytes implements Estimator.
+func (Oracle) StateBytes() int { return 0 }
+
+// Reset implements Estimator.
+func (Oracle) Reset() {}
+
+// AlwaysHigh reports high confidence for every branch; running PolyPath
+// with it degenerates to the monopath architecture.
+type AlwaysHigh struct{}
+
+// Estimate implements Estimator.
+func (AlwaysHigh) Estimate(int, uint64, bool, Hint) bool { return true }
+
+// Update implements Estimator.
+func (AlwaysHigh) Update(int, uint64, bool, bool) {}
+
+// StateBytes implements Estimator.
+func (AlwaysHigh) StateBytes() int { return 0 }
+
+// Reset implements Estimator.
+func (AlwaysHigh) Reset() {}
+
+// AlwaysLow reports low confidence for every branch: maximal eagerness,
+// bounded only by the machine's context resources. Useful as a limit study
+// of divergence pressure.
+type AlwaysLow struct{}
+
+// Estimate implements Estimator.
+func (AlwaysLow) Estimate(int, uint64, bool, Hint) bool { return false }
+
+// Update implements Estimator.
+func (AlwaysLow) Update(int, uint64, bool, bool) {}
+
+// StateBytes implements Estimator.
+func (AlwaysLow) StateBytes() int { return 0 }
+
+// Reset implements Estimator.
+func (AlwaysLow) Reset() {}

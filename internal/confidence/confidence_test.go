@@ -1,0 +1,293 @@
+package confidence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJRSResettingCounterBehaviour(t *testing.T) {
+	j := NewJRS(JRSConfig{IndexBits: 10, CtrBits: 1})
+	pc, hist := 42, uint64(0)
+	// Fresh counters are saturated: an index that has never seen a
+	// misprediction reports high confidence (avoids spurious divergence
+	// on cold contexts).
+	if !j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("fresh JRS entry must be high confidence (saturated init)")
+	}
+	// A misprediction resets: low confidence.
+	j.Update(pc, hist, true, false)
+	if j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("after a mispredict, JRS must reset to low confidence")
+	}
+	// One correct prediction re-saturates a 1-bit counter.
+	j.Update(pc, hist, true, true)
+	if !j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("after a correct prediction, 1-bit JRS is high confidence")
+	}
+}
+
+func TestJRS4BitNeedsSaturation(t *testing.T) {
+	j := NewJRS(JRSConfig{IndexBits: 8, CtrBits: 4})
+	pc, hist := 7, uint64(3)
+	j.Update(pc, hist, false, false) // reset the saturated-init counter
+	for i := 0; i < 14; i++ {
+		j.Update(pc, hist, false, true)
+		if j.Estimate(pc, hist, false, Hint{}) {
+			t.Fatalf("4-bit JRS high-confidence after only %d corrects", i+1)
+		}
+	}
+	j.Update(pc, hist, false, true)
+	if !j.Estimate(pc, hist, false, Hint{}) {
+		t.Error("4-bit JRS should be high confidence at saturation (15)")
+	}
+}
+
+func TestJRSThresholdOverride(t *testing.T) {
+	j := NewJRS(JRSConfig{IndexBits: 8, CtrBits: 4, Threshold: 2})
+	pc, hist := 1, uint64(1)
+	j.Update(pc, hist, true, false) // reset the saturated-init counter
+	j.Update(pc, hist, true, true)
+	if j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("one correct < threshold 2")
+	}
+	j.Update(pc, hist, true, true)
+	if !j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("two corrects reach threshold 2")
+	}
+}
+
+func TestJRSEnhancedIndexSeparatesByPrediction(t *testing.T) {
+	j := NewJRS(JRSConfig{IndexBits: 12, CtrBits: 1, EnhancedIndex: true})
+	pc, hist := 9, uint64(0b1100)
+	// Reset the predicted-taken context only: the predicted-not-taken
+	// context must be unaffected because the prediction is in the index.
+	j.Update(pc, hist, true, false)
+	if j.Estimate(pc, hist, true, Hint{}) {
+		t.Error("reset context should be low confidence")
+	}
+	if !j.Estimate(pc, hist, false, Hint{}) {
+		t.Error("enhanced index must separate by predicted outcome")
+	}
+
+	// Classic indexing conflates the two contexts.
+	c := NewJRS(JRSConfig{IndexBits: 12, CtrBits: 1, EnhancedIndex: false})
+	c.Update(pc, hist, true, false)
+	if c.Estimate(pc, hist, false, Hint{}) {
+		t.Error("classic index should not separate by predicted outcome")
+	}
+}
+
+func TestJRSStateBytes(t *testing.T) {
+	// Paper baseline: 16k 1-bit counters = 2 kB.
+	j := NewJRS(JRSConfig{IndexBits: 14, CtrBits: 1})
+	if j.StateBytes() != 2048 {
+		t.Errorf("StateBytes = %d, want 2048", j.StateBytes())
+	}
+	j4 := NewJRS(JRSConfig{IndexBits: 14, CtrBits: 4})
+	if j4.StateBytes() != 8192 {
+		t.Errorf("4-bit StateBytes = %d, want 8192", j4.StateBytes())
+	}
+}
+
+func TestJRSReset(t *testing.T) {
+	j := NewJRS(JRSConfig{IndexBits: 8, CtrBits: 1})
+	j.Update(3, 0, true, false)
+	j.Reset()
+	if !j.Estimate(3, 0, true, Hint{}) {
+		t.Error("reset should re-saturate counters (high confidence)")
+	}
+}
+
+func TestJRSConfigValidation(t *testing.T) {
+	bad := []JRSConfig{
+		{IndexBits: 0, CtrBits: 1},
+		{IndexBits: 30, CtrBits: 1},
+		{IndexBits: 8, CtrBits: 0},
+		{IndexBits: 8, CtrBits: 9},
+		{IndexBits: 8, CtrBits: 1, Threshold: 2},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewJRS(cfg)
+		}()
+	}
+}
+
+// The paper's key observation: on a stream of isolated mispredictions
+// (highly biased branches, m88ksim-like), 1-bit JRS low-confidence signals
+// have LOW PVN; on a random branch (go-like) they have ~50% PVN. This test
+// verifies the mechanism our m88ksim reproduction relies on.
+func TestJRSPVNCharacter(t *testing.T) {
+	measure := func(bias float64, seed int64) float64 {
+		j := NewJRS(JRSConfig{IndexBits: 14, CtrBits: 1, EnhancedIndex: true})
+		rng := rand.New(rand.NewSource(seed))
+		hist := uint64(0)
+		var low, lowMiss int
+		pc := 77
+		for i := 0; i < 50000; i++ {
+			taken := rng.Float64() < bias
+			pred := true // a bias-aware static prediction: majority direction
+			correct := pred == taken
+			if !j.Estimate(pc, hist, pred, Hint{}) {
+				low++
+				if !correct {
+					lowMiss++
+				}
+			}
+			j.Update(pc, hist, pred, correct)
+			hist = hist<<1 | map[bool]uint64{true: 1, false: 0}[taken]
+		}
+		if low == 0 {
+			return 0
+		}
+		return float64(lowMiss) / float64(low)
+	}
+	biased := measure(0.95, 11) // m88ksim-like
+	random := measure(0.50, 12) // go-like
+	if biased >= 0.30 {
+		t.Errorf("biased-branch PVN = %.2f, want < 0.30 (isolated misses)", biased)
+	}
+	if random <= 0.35 {
+		t.Errorf("random-branch PVN = %.2f, want > 0.35 (clustered misses)", random)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	var o Oracle
+	if o.Estimate(1, 0, true, Hint{Known: true, Taken: false}) {
+		t.Error("oracle must flag a wrong prediction as low confidence")
+	}
+	if !o.Estimate(1, 0, true, Hint{Known: true, Taken: true}) {
+		t.Error("oracle must flag a correct prediction as high confidence")
+	}
+	if !o.Estimate(1, 0, true, Hint{}) {
+		t.Error("oracle defaults to high confidence when outcome unknown")
+	}
+	o.Update(1, 0, true, true)
+	if o.StateBytes() != 0 {
+		t.Error("oracle has no state")
+	}
+	o.Reset()
+}
+
+func TestDegenerateEstimators(t *testing.T) {
+	var hi AlwaysHigh
+	var lo AlwaysLow
+	if !hi.Estimate(5, 9, true, Hint{}) {
+		t.Error("AlwaysHigh")
+	}
+	if lo.Estimate(5, 9, true, Hint{}) {
+		t.Error("AlwaysLow")
+	}
+	hi.Update(0, 0, false, false)
+	lo.Update(0, 0, false, false)
+	if hi.StateBytes() != 0 || lo.StateBytes() != 0 {
+		t.Error("degenerate estimators have no state")
+	}
+	hi.Reset()
+	lo.Reset()
+}
+
+func TestAdaptiveDisablesOnLowPVN(t *testing.T) {
+	a := NewAdaptive(NewJRS(JRSConfig{IndexBits: 12, CtrBits: 1}), AdaptiveConfig{MinPVN: 0.30, Window: 64})
+	rng := rand.New(rand.NewSource(5))
+	hist := uint64(0)
+	// m88ksim-like stream: bias 0.96, prediction always the majority.
+	for i := 0; i < 20000; i++ {
+		taken := rng.Float64() < 0.96
+		a.Update(100, hist, true, taken)
+		hist = hist << 1
+		if taken {
+			hist |= 1
+		}
+	}
+	if !a.Disabled() {
+		pvn, n := a.PVN()
+		t.Errorf("adaptive should disable on isolated-miss stream (pvn=%.2f over %d)", pvn, n)
+	}
+	// While disabled it must report high confidence even when the inner
+	// estimator says low.
+	if !a.Estimate(100, hist, true, Hint{}) {
+		t.Error("disabled adaptive must report high confidence")
+	}
+}
+
+func TestAdaptiveStaysEnabledOnHighPVN(t *testing.T) {
+	a := NewAdaptive(NewJRS(JRSConfig{IndexBits: 12, CtrBits: 1}), AdaptiveConfig{MinPVN: 0.30, Window: 64})
+	rng := rand.New(rand.NewSource(6))
+	hist := uint64(0)
+	// go-like stream: random outcomes, prediction fixed.
+	for i := 0; i < 20000; i++ {
+		taken := rng.Intn(2) == 0
+		a.Update(200, hist, true, taken)
+		hist = hist << 1
+		if taken {
+			hist |= 1
+		}
+	}
+	if a.Disabled() {
+		pvn, n := a.PVN()
+		t.Errorf("adaptive should stay enabled on clustered-miss stream (pvn=%.2f over %d)", pvn, n)
+	}
+}
+
+func TestAdaptiveRecovers(t *testing.T) {
+	a := NewAdaptive(NewJRS(JRSConfig{IndexBits: 10, CtrBits: 1}), AdaptiveConfig{MinPVN: 0.30, Window: 32})
+	rng := rand.New(rand.NewSource(7))
+	hist := uint64(0)
+	push := func(taken bool) {
+		a.Update(300, hist, true, taken)
+		hist = hist << 1
+		if taken {
+			hist |= 1
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		push(rng.Float64() < 0.97)
+	}
+	if !a.Disabled() {
+		t.Fatal("setup: adaptive should be disabled")
+	}
+	for i := 0; i < 10000; i++ {
+		push(rng.Intn(2) == 0)
+	}
+	if a.Disabled() {
+		t.Error("adaptive should re-enable once shadow PVN recovers")
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	a := NewAdaptive(NewJRS(JRSConfig{IndexBits: 10, CtrBits: 1}), AdaptiveConfig{MinPVN: 0.30, Window: 32})
+	for i := 0; i < 100; i++ {
+		a.Update(1, 0, true, i%10 == 0)
+	}
+	a.Reset()
+	if a.Disabled() {
+		t.Error("reset must clear disabled state")
+	}
+	if _, n := a.PVN(); n != 0 {
+		t.Error("reset must clear monitor window")
+	}
+	if a.StateBytes() <= 0 {
+		t.Error("state accounting")
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	inner := NewJRS(JRSConfig{IndexBits: 8, CtrBits: 1})
+	for i, cfg := range []AdaptiveConfig{{MinPVN: 0, Window: 64}, {MinPVN: 1.5, Window: 64}, {MinPVN: 0.3, Window: 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: expected panic", i)
+				}
+			}()
+			NewAdaptive(inner, cfg)
+		}()
+	}
+}

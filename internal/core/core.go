@@ -1,0 +1,124 @@
+// Package core is the public API of the PolyPath / Selective Eager
+// Execution reproduction: it assembles the pipeline simulator, predictors,
+// confidence estimators and workloads into the named machine configurations
+// the paper evaluates, and runs simulations.
+//
+// The configurations of Fig. 8 map onto this API as:
+//
+//	monopath            -> ConfigMonopath()
+//	oracle              -> ConfigOracleBP()
+//	gshare/oracle       -> ConfigSEEOracleCE()
+//	gshare/JRS          -> ConfigSEE()
+//	gshare/oracle/dual  -> ConfigDualPathOracleCE()
+//	gshare/JRS/dual     -> ConfigDualPath()
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Config is the machine configuration; it re-exports the pipeline package
+// configuration as the library's public surface.
+type Config = pipeline.Config
+
+// Result holds the outcome of one simulation.
+type Result struct {
+	Program string
+	Config  Config
+	Stats   stats.Sim
+	// IPC is committed instructions per cycle, the paper's primary metric.
+	IPC float64
+	// Verified records that the committed architectural state matched the
+	// functional reference execution.
+	Verified bool
+}
+
+// Run simulates prog under cfg and verifies the committed architectural
+// state against the functional reference execution.
+func Run(prog *isa.Program, cfg Config) (*Result, error) {
+	return RunWithTracer(prog, cfg, nil)
+}
+
+// RunWithTracer is Run with a pipeline tracer attached (e.g. a
+// pipeline.PipeTrace collecting per-instruction stage timelines).
+func RunWithTracer(prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
+	m, err := pipeline.New(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		m.SetTracer(tr)
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+	}
+	if err := m.VerifyArchState(); err != nil {
+		return nil, fmt.Errorf("core: %s: architectural state mismatch: %w", prog.Name, err)
+	}
+	return &Result{
+		Program:  prog.Name,
+		Config:   cfg,
+		Stats:    m.Stats,
+		IPC:      m.Stats.IPC(),
+		Verified: true,
+	}, nil
+}
+
+// ConfigMonopath returns the paper's baseline: a speculative, monopath,
+// out-of-order machine with the gshare predictor.
+func ConfigMonopath() Config {
+	c := pipeline.DefaultConfig()
+	c.Mode = pipeline.Monopath
+	c.Confidence.Kind = pipeline.ConfAlwaysHigh
+	return c
+}
+
+// ConfigOracleBP returns the perfect-branch-prediction calibration machine
+// ("oracle" in Fig. 8).
+func ConfigOracleBP() Config {
+	c := ConfigMonopath()
+	c.Predictor.Kind = pipeline.PredOracle
+	return c
+}
+
+// ConfigSEE returns the real SEE machine: gshare plus the JRS confidence
+// estimator with the paper's modifications ("gshare/JRS").
+func ConfigSEE() Config {
+	return pipeline.DefaultConfig()
+}
+
+// ConfigSEEOracleCE returns SEE with a perfect confidence estimator
+// ("gshare/oracle"): divergence happens exactly on mispredictions.
+func ConfigSEEOracleCE() Config {
+	c := pipeline.DefaultConfig()
+	c.Confidence.Kind = pipeline.ConfOracle
+	return c
+}
+
+// ConfigDualPath returns the dual-path restriction of Sec. 5.2: at most
+// one divergence (3 paths) in flight ("gshare/JRS/dual-path").
+func ConfigDualPath() Config {
+	c := ConfigSEE()
+	c.MaxDivergences = 1
+	return c
+}
+
+// ConfigDualPathOracleCE returns dual-path with the perfect confidence
+// estimator ("gshare/oracle/dual-path").
+func ConfigDualPathOracleCE() Config {
+	c := ConfigSEEOracleCE()
+	c.MaxDivergences = 1
+	return c
+}
+
+// ConfigSEEAdaptive returns SEE with the PVN-monitoring adaptive estimator
+// (the paper's Sec. 5.1 "lesson learned", implemented as an extension).
+func ConfigSEEAdaptive() Config {
+	c := pipeline.DefaultConfig()
+	c.Confidence.Kind = pipeline.ConfAdaptive
+	return c
+}

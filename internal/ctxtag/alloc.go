@@ -1,0 +1,70 @@
+package ctxtag
+
+import "fmt"
+
+// Allocator hands out history positions to divergent branches and reclaims
+// them when the branch commits. Following the paper, new positions are
+// assigned left to right and the assignment wraps around to reuse vacated
+// positions, which the rotation-independent hierarchy comparator makes safe
+// without re-aligning any tags.
+type Allocator struct {
+	width int    // number of usable positions (the CTX tag bit-width / 2)
+	used  uint32 // bit i set: position i currently owned by an in-flight branch
+	next  int    // round-robin scan start
+}
+
+// NewAllocator creates an allocator with the given number of history
+// positions (1..MaxPositions). The width bounds the number of unresolved
+// divergent branches that can be in flight simultaneously.
+func NewAllocator(width int) *Allocator {
+	if width < 1 || width > MaxPositions {
+		panic(fmt.Sprintf("ctxtag: allocator width %d out of range [1,%d]", width, MaxPositions))
+	}
+	return &Allocator{width: width}
+}
+
+// Width returns the number of history positions managed.
+func (a *Allocator) Width() int { return a.width }
+
+// InUse returns how many positions are currently allocated.
+func (a *Allocator) InUse() int {
+	n := 0
+	for v := a.used; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Alloc returns a free history position, scanning round-robin from the last
+// assignment so positions are reused in wrap-around order. ok is false when
+// every position is owned by an unresolved branch, in which case the
+// divergence must be skipped (the branch is handled monopath-style).
+func (a *Allocator) Alloc() (pos int, ok bool) {
+	for i := 0; i < a.width; i++ {
+		p := (a.next + i) % a.width
+		if a.used&(1<<uint(p)) == 0 {
+			a.used |= 1 << uint(p)
+			a.next = (p + 1) % a.width
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Free releases a history position. Freeing an unallocated position is a
+// bookkeeping bug in the caller and panics.
+func (a *Allocator) Free(pos int) {
+	if pos < 0 || pos >= a.width {
+		panic(fmt.Sprintf("ctxtag: free of position %d outside width %d", pos, a.width))
+	}
+	if a.used&(1<<uint(pos)) == 0 {
+		panic(fmt.Sprintf("ctxtag: double free of position %d", pos))
+	}
+	a.used &^= 1 << uint(pos)
+}
+
+// Reset releases all positions.
+func (a *Allocator) Reset() {
+	a.used = 0
+	a.next = 0
+}

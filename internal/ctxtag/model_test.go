@@ -1,0 +1,146 @@
+package ctxtag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// model_test.go checks the tag algebra against a naive reference model: an
+// explicit path tree with parent pointers, driven through the same
+// lifecycle the pipeline's context manager enforces:
+//
+//   - a live path may diverge once (a diverged parent stops fetching);
+//   - divergences RESOLVE out of order (the 2-bit encoding's selling point
+//     over Adaptive Branch Trees), killing the wrong subtree by tag match;
+//   - divergences COMMIT in creation order, and only once resolved — the
+//     in-order back end guarantees this — clearing the history position in
+//     every live tag, retiring the parent context, and recycling the
+//     position for wrap-around reuse.
+//
+// After every step, the tag-based ancestor relation must agree with tree
+// reachability for all live pairs, and every tag-directed kill must agree
+// with tree membership of the wrong subtree.
+
+type modelPath struct {
+	id       int
+	parent   *modelPath // nil for the root; never rewritten
+	tag      Tag
+	diverged bool
+}
+
+func (p *modelPath) isAncestorOrSelf(q *modelPath) bool {
+	for cur := q; cur != nil; cur = cur.parent {
+		if cur == p {
+			return true
+		}
+	}
+	return false
+}
+
+type modelDivergence struct {
+	pos      int
+	parent   *modelPath
+	childT   *modelPath
+	childN   *modelPath
+	resolved bool
+	outcome  bool
+}
+
+func TestTagRelationMatchesTreeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		alloc := NewAllocator(8)
+		root := &modelPath{id: 0, tag: Root()}
+		live := map[*modelPath]bool{root: true}
+		nextID := 1
+		var divs []*modelDivergence // creation order; front commits first
+		committed := 0              // count of committed divergences
+
+		check := func() {
+			for a := range live {
+				for b := range live {
+					want := a.isAncestorOrSelf(b)
+					got := a.tag.IsAncestorOrSelf(b.tag)
+					if want != got {
+						t.Fatalf("trial %d: relation mismatch: tree says %v, tags %q->%q say %v",
+							trial, want, a.tag, b.tag, got)
+					}
+				}
+			}
+		}
+
+		commitFrontier := func() {
+			for committed < len(divs) && divs[committed].resolved {
+				d := divs[committed]
+				committed++
+				// The parent context retires with the divergent branch.
+				delete(live, d.parent)
+				for p := range live {
+					p.tag = p.tag.ClearPosition(d.pos)
+				}
+				alloc.Free(d.pos)
+			}
+		}
+
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(2) {
+			case 0: // diverge a random undiverged live path
+				var cands []*modelPath
+				for p := range live {
+					if !p.diverged {
+						cands = append(cands, p)
+					}
+				}
+				for i := 1; i < len(cands); i++ {
+					for j := i; j > 0 && cands[j-1].id > cands[j].id; j-- {
+						cands[j-1], cands[j] = cands[j], cands[j-1]
+					}
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				pos, ok := alloc.Alloc()
+				if !ok {
+					continue
+				}
+				p := cands[rng.Intn(len(cands))]
+				p.diverged = true
+				cT := &modelPath{id: nextID, parent: p, tag: p.tag.WithPosition(pos, true)}
+				cN := &modelPath{id: nextID + 1, parent: p, tag: p.tag.WithPosition(pos, false)}
+				nextID += 2
+				live[cT], live[cN] = true, true
+				divs = append(divs, &modelDivergence{pos: pos, parent: p, childT: cT, childN: cN})
+			case 1: // resolve a random unresolved divergence (out of order)
+				var unresolved []*modelDivergence
+				for _, d := range divs[committed:] {
+					if !d.resolved {
+						unresolved = append(unresolved, d)
+					}
+				}
+				if len(unresolved) == 0 {
+					continue
+				}
+				d := unresolved[rng.Intn(len(unresolved))]
+				d.resolved = true
+				d.outcome = rng.Intn(2) == 0
+				wrong := d.childN
+				if !d.outcome {
+					wrong = d.childT
+				}
+				for p := range live {
+					onWrong := p.tag.OnWrongPath(d.pos, d.outcome)
+					inWrongSubtree := wrong.isAncestorOrSelf(p)
+					if onWrong != inWrongSubtree {
+						t.Fatalf("trial %d: kill mismatch for %q: tag says %v, tree says %v",
+							trial, p.tag, onWrong, inWrongSubtree)
+					}
+					if onWrong {
+						delete(live, p)
+					}
+				}
+				commitFrontier()
+			}
+			check()
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// AblationResult compares a small set of design variants by harmonic-mean
+// IPC (and PVN where the variant concerns the confidence estimator).
+type AblationResult struct {
+	Title    string
+	Variants []AblationVariant
+}
+
+// AblationVariant is one design point of an ablation.
+type AblationVariant struct {
+	Name  string
+	HMean float64
+	// MeanPVN is the arithmetic-mean PVN across benchmarks (only
+	// meaningful for confidence-estimator ablations; 0 otherwise).
+	MeanPVN float64
+	// MeanMispredict is the mean misprediction rate across benchmarks.
+	MeanMispredict float64
+}
+
+// Render formats the ablation.
+func (a *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-34s %10s %10s %12s\n", a.Title, "variant", "hmean IPC", "mean PVN", "mean mispred")
+	for _, v := range a.Variants {
+		fmt.Fprintf(&b, "%-34s %10.3f %9.1f%% %11.2f%%\n", v.Name, v.HMean, 100*v.MeanPVN, 100*v.MeanMispredict)
+	}
+	return b.String()
+}
+
+func runAblation(opts Options, title string, ncs []NamedConfig) (*AblationResult, error) {
+	mat, err := runMatrix(opts, ncs)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: title}
+	for _, c := range mat.Configs {
+		var pvnSum, misSum float64
+		for _, b := range mat.Benchmarks {
+			cell := mat.Cell(b, c)
+			pvnSum += cell.Stats.PVN()
+			misSum += cell.Stats.MispredictRate()
+		}
+		n := float64(len(mat.Benchmarks))
+		res.Variants = append(res.Variants, AblationVariant{
+			Name:           c,
+			HMean:          mat.HarmonicMean(c),
+			MeanPVN:        pvnSum / n,
+			MeanMispredict: misSum / n,
+		})
+	}
+	return res, nil
+}
+
+// AblationJRSWidth compares 1-bit vs 4-bit JRS resetting counters. The
+// paper (Sec. 4.2): "rather than the 4-bit counters advocated by Jacobsen
+// et al, we found that 1-bit counters result in the best performance for
+// our application" because they achieve much higher PVN.
+func AblationJRSWidth(opts Options) (*AblationResult, error) {
+	c1 := core.ConfigSEE()
+	c4 := core.ConfigSEE()
+	c4.Confidence.CtrBits = 4
+	c4mid := core.ConfigSEE()
+	c4mid.Confidence.CtrBits = 4
+	c4mid.Confidence.Threshold = 8
+	return runAblation(opts, "Ablation: JRS counter width (paper Sec. 4.2)", []NamedConfig{
+		{Name: "JRS 1-bit (paper choice)", Cfg: c1},
+		{Name: "JRS 4-bit, threshold=saturation", Cfg: c4},
+		{Name: "JRS 4-bit, threshold=8", Cfg: c4mid},
+	})
+}
+
+// AblationCEIndex compares the paper's enhanced confidence-estimator
+// indexing (speculative outcome of the current branch folded into the
+// history) against the original JRS indexing.
+func AblationCEIndex(opts Options) (*AblationResult, error) {
+	enh := core.ConfigSEE()
+	orig := core.ConfigSEE()
+	orig.Confidence.EnhancedIndex = false
+	return runAblation(opts, "Ablation: confidence estimator indexing (paper Sec. 4.2)", []NamedConfig{
+		{Name: "enhanced index (prediction in history)", Cfg: enh},
+		{Name: "original JRS index", Cfg: orig},
+	})
+}
+
+// AblationSpecHistory compares speculative vs commit-time global history
+// update for the branch predictor (paper Sec. 4.2: "speculative history
+// update improved the overall branch prediction accuracy by approximately
+// 1%").
+func AblationSpecHistory(opts Options) (*AblationResult, error) {
+	spec := core.ConfigMonopath()
+	nonspec := core.ConfigMonopath()
+	nonspec.NonSpeculativeHistory = true
+	return runAblation(opts, "Ablation: speculative history update (paper Sec. 4.2)", []NamedConfig{
+		{Name: "speculative update (baseline)", Cfg: spec},
+		{Name: "commit-time update", Cfg: nonspec},
+	})
+}
+
+// AblationAdaptive evaluates the PVN-monitoring adaptive estimator the
+// paper proposes after the m88ksim anomaly (Sec. 5.1: "a successful branch
+// confidence estimator for SEE should be able to monitor its performance
+// dynamically and revert back to strict monopath execution").
+func AblationAdaptive(opts Options) (*AblationResult, error) {
+	return runAblation(opts, "Extension: adaptive PVN-monitoring estimator (paper Sec. 5.1)", []NamedConfig{
+		{Name: "monopath", Cfg: core.ConfigMonopath()},
+		{Name: "gshare/JRS", Cfg: core.ConfigSEE()},
+		{Name: "gshare/JRS+PVN-monitor", Cfg: core.ConfigSEEAdaptive()},
+	})
+}
+
+// AblationFetchPolicy compares the exponential-decay fetch arbitration
+// against round-robin (fetch policy is the paper's named future-work item,
+// Sec. 3.2.6/6).
+func AblationFetchPolicy(opts Options) (*AblationResult, error) {
+	exp := core.ConfigSEE()
+	rr := core.ConfigSEE()
+	rr.FetchPolicy = pipeline.FetchRoundRobin
+	return runAblation(opts, "Ablation: multi-path fetch arbitration (paper future work)", []NamedConfig{
+		{Name: "exponential decay (paper)", Cfg: exp},
+		{Name: "round robin", Cfg: rr},
+	})
+}
+
+// AblationEagerness compares the JRS-guided selective policy against
+// always-eager divergence, isolating the value of confidence estimation.
+func AblationEagerness(opts Options) (*AblationResult, error) {
+	return runAblation(opts, "Ablation: selectivity of eager execution", []NamedConfig{
+		{Name: "monopath (never diverge)", Cfg: core.ConfigMonopath()},
+		{Name: "gshare/JRS (selective)", Cfg: core.ConfigSEE()},
+		{Name: "always diverge (greedy eager)", Cfg: func() core.Config {
+			c := core.ConfigSEE()
+			c.Confidence.Kind = pipeline.ConfAlwaysLow
+			return c
+		}()},
+	})
+}
+
+// AblationPredictors compares predictor families under both execution
+// models at equal table budget: SEE's benefit shrinks as the predictor
+// improves (fewer mispredictions to save) but persists across families.
+func AblationPredictors(opts Options) (*AblationResult, error) {
+	mk := func(kind pipeline.PredictorKind, mode pipeline.Mode) core.Config {
+		var c core.Config
+		if mode == pipeline.Monopath {
+			c = core.ConfigMonopath()
+		} else {
+			c = core.ConfigSEE()
+		}
+		c.Predictor.Kind = kind
+		return c
+	}
+	return runAblation(opts, "Ablation: predictor family (monopath vs SEE)", []NamedConfig{
+		{Name: "static BTFNT / monopath", Cfg: mk(pipeline.PredStatic, pipeline.Monopath)},
+		{Name: "static BTFNT / SEE", Cfg: mk(pipeline.PredStatic, pipeline.PolyPath)},
+		{Name: "bimodal / monopath", Cfg: mk(pipeline.PredBimodal, pipeline.Monopath)},
+		{Name: "bimodal / SEE", Cfg: mk(pipeline.PredBimodal, pipeline.PolyPath)},
+		{Name: "local 2-level / monopath", Cfg: mk(pipeline.PredLocal, pipeline.Monopath)},
+		{Name: "local 2-level / SEE", Cfg: mk(pipeline.PredLocal, pipeline.PolyPath)},
+		{Name: "gshare / monopath", Cfg: mk(pipeline.PredGshare, pipeline.Monopath)},
+		{Name: "gshare / SEE", Cfg: mk(pipeline.PredGshare, pipeline.PolyPath)},
+		{Name: "combining / monopath", Cfg: mk(pipeline.PredCombining, pipeline.Monopath)},
+		{Name: "combining / SEE", Cfg: mk(pipeline.PredCombining, pipeline.PolyPath)},
+	})
+}
+
+// AblationResolutionBuses sweeps the number of branch resolution buses
+// (Sec. 3.2.3 notes multiple buses are needed for multiple resolutions
+// per cycle).
+func AblationResolutionBuses(opts Options) (*AblationResult, error) {
+	mk := func(n int) core.Config {
+		c := core.ConfigSEE()
+		c.ResolutionBuses = n
+		return c
+	}
+	return runAblation(opts, "Ablation: branch resolution buses (paper Sec. 3.2.3)", []NamedConfig{
+		{Name: "1 bus", Cfg: mk(1)},
+		{Name: "2 buses", Cfg: mk(2)},
+		{Name: "4 buses", Cfg: mk(4)},
+		{Name: "unlimited", Cfg: mk(0)},
+	})
+}
+
+// AblationMRC compares the misprediction-recovery-cache comparator
+// (related work [1] in the paper) against monopath and SEE: MRC shortens
+// each recovery, SEE removes caught recoveries entirely, and the two
+// compose.
+func AblationMRC(opts Options) (*AblationResult, error) {
+	monoMRC := core.ConfigMonopath()
+	monoMRC.EnableMRC = true
+	seeMRC := core.ConfigSEE()
+	seeMRC.EnableMRC = true
+	return runAblation(opts, "Comparator: misprediction recovery cache (related work [1])", []NamedConfig{
+		{Name: "monopath", Cfg: core.ConfigMonopath()},
+		{Name: "monopath + MRC", Cfg: monoMRC},
+		{Name: "gshare/JRS (SEE)", Cfg: core.ConfigSEE()},
+		{Name: "SEE + MRC", Cfg: seeMRC},
+	})
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// CachePoint is one row of the memory-sensitivity extension study.
+type CachePoint struct {
+	Label      string
+	MonoIPC    float64
+	SEEIPC     float64
+	SEEGain    float64 // relative
+	DCacheMiss float64 // monopath D-cache miss rate
+	ICacheMiss float64 // monopath I-cache miss rate
+}
+
+// CacheSensitivityResult is the extension study replacing the paper's
+// always-hit cache assumption with a finite cache + miss penalty.
+type CacheSensitivityResult struct {
+	Points []CachePoint
+}
+
+// ExtensionCacheSensitivity evaluates how SEE's improvement responds to a
+// real memory hierarchy. The paper assumes caches always hit (Sec. 4.2);
+// this study sweeps the miss penalty of a small D-cache + I-cache pair and
+// reports monopath vs SEE. The expected shape: cache misses lengthen
+// branch resolution (bigger misprediction penalties — helps SEE) but also
+// steal the spare bandwidth eager paths rely on; at moderate penalties the
+// gain survives.
+func ExtensionCacheSensitivity(opts Options) (*CacheSensitivityResult, error) {
+	dc := cache.Config{Sets: 64, Ways: 2, LineWords: 8}  // 1k words data
+	ic := cache.Config{Sets: 128, Ways: 2, LineWords: 8} // 2k entries insts
+	points := []struct {
+		label   string
+		latency int // 0 = always hit (paper baseline)
+	}{
+		{"always hit (paper)", 0},
+		{"miss penalty 4", 4},
+		{"miss penalty 10", 10},
+		{"miss penalty 20", 20},
+	}
+	res := &CacheSensitivityResult{}
+	for _, pt := range points {
+		mutate := func(c *core.Config) {
+			if pt.latency == 0 {
+				return
+			}
+			c.EnableDCache = true
+			c.DCache = dc
+			c.DCacheMissLatency = pt.latency
+			c.EnableICache = true
+			c.ICache = ic
+			c.ICacheMissLatency = pt.latency
+		}
+		mono := core.ConfigMonopath()
+		see := core.ConfigSEE()
+		mutate(&mono)
+		mutate(&see)
+		mat, err := runMatrix(opts, []NamedConfig{
+			{Name: "monopath", Cfg: mono},
+			{Name: "gshare/JRS", Cfg: see},
+		})
+		if err != nil {
+			return nil, err
+		}
+		monoH := mat.HarmonicMean("monopath")
+		seeH := mat.HarmonicMean("gshare/JRS")
+		var dmiss, imiss float64
+		for _, b := range mat.Benchmarks {
+			c := mat.Cell(b, "monopath")
+			dmiss += c.Stats.DCacheMissRate()
+			imiss += c.Stats.ICacheMissRate()
+		}
+		n := float64(len(mat.Benchmarks))
+		res.Points = append(res.Points, CachePoint{
+			Label:      pt.label,
+			MonoIPC:    monoH,
+			SEEIPC:     seeH,
+			SEEGain:    seeH/monoH - 1,
+			DCacheMiss: dmiss / n,
+			ICacheMiss: imiss / n,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the cache-sensitivity study.
+func (r *CacheSensitivityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: memory-hierarchy sensitivity (paper assumes always-hit caches)\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s\n",
+		"configuration", "monopath", "SEE", "SEE gain", "d$ miss", "i$ miss")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-22s %10.3f %10.3f %+9.1f%% %9.1f%% %9.1f%%\n",
+			p.Label, p.MonoIPC, p.SEEIPC, 100*p.SEEGain, 100*p.DCacheMiss, 100*p.ICacheMiss)
+	}
+	return b.String()
+}
+
+// CEDesignPoint is one estimator configuration of the design-space study.
+type CEDesignPoint struct {
+	Name    string
+	HMean   float64
+	MeanPVN float64
+	SeeGain float64 // vs the shared monopath baseline
+}
+
+// CEDesignResult is the confidence-estimator design-space extension: a
+// sweep over counter width, threshold and indexing, reporting PVN and the
+// resulting SEE gain. It generalizes the paper's single 1-bit-vs-4-bit
+// observation into the full trade-off curve.
+type CEDesignResult struct {
+	MonoHMean float64
+	Points    []CEDesignPoint
+}
+
+// ExtensionCEDesignSpace sweeps the JRS design space.
+func ExtensionCEDesignSpace(opts Options) (*CEDesignResult, error) {
+	type variant struct {
+		name   string
+		mutate func(*core.Config)
+	}
+	variants := []variant{
+		{"1-bit enhanced (paper)", func(c *core.Config) {}},
+		{"1-bit classic index", func(c *core.Config) { c.Confidence.EnhancedIndex = false }},
+		{"2-bit thr=sat", func(c *core.Config) { c.Confidence.CtrBits = 2 }},
+		{"2-bit thr=2", func(c *core.Config) { c.Confidence.CtrBits = 2; c.Confidence.Threshold = 2 }},
+		{"4-bit thr=sat", func(c *core.Config) { c.Confidence.CtrBits = 4 }},
+		{"4-bit thr=8", func(c *core.Config) { c.Confidence.CtrBits = 4; c.Confidence.Threshold = 8 }},
+		{"4-bit thr=2", func(c *core.Config) { c.Confidence.CtrBits = 4; c.Confidence.Threshold = 2 }},
+	}
+	ncs := []NamedConfig{{Name: "monopath", Cfg: core.ConfigMonopath()}}
+	for _, v := range variants {
+		cfg := core.ConfigSEE()
+		v.mutate(&cfg)
+		ncs = append(ncs, NamedConfig{Name: v.name, Cfg: cfg})
+	}
+	mat, err := runMatrix(opts, ncs)
+	if err != nil {
+		return nil, err
+	}
+	res := &CEDesignResult{MonoHMean: mat.HarmonicMean("monopath")}
+	for _, v := range variants {
+		var pvn float64
+		for _, b := range mat.Benchmarks {
+			pvn += mat.Cell(b, v.name).Stats.PVN()
+		}
+		h := mat.HarmonicMean(v.name)
+		res.Points = append(res.Points, CEDesignPoint{
+			Name:    v.name,
+			HMean:   h,
+			MeanPVN: pvn / float64(len(mat.Benchmarks)),
+			SeeGain: h/res.MonoHMean - 1,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the design-space study.
+func (r *CEDesignResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension: JRS confidence-estimator design space\n")
+	fmt.Fprintf(&b, "monopath baseline hmean IPC %.3f\n", r.MonoHMean)
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s\n", "estimator", "hmean IPC", "mean PVN", "SEE gain")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-26s %10.3f %9.1f%% %+9.1f%%\n", p.Name, p.HMean, 100*p.MeanPVN, 100*p.SeeGain)
+	}
+	b.WriteString("(higher PVN -> fewer wasted divergences; the paper's 1-bit choice sits at the PVN extreme)\n")
+	return b.String()
+}

@@ -1,0 +1,295 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section (Sec. 4-5): Table 1 (benchmark characteristics),
+// Figure 8 (baseline performance incl. dual-path), Figure 9 (branch
+// predictor size), Figure 10 (instruction window size), Figure 11
+// (functional unit configuration), Figure 12 (pipeline depth), plus the
+// ablations DESIGN.md calls out.
+//
+// Results are returned as structured tables and rendered as fixed-width
+// text so cmd/experiments can print exactly the rows/series the paper
+// reports.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// TargetInsts is the dynamic instruction count per benchmark run
+	// (0 = workload.DefaultTargetInsts). The paper runs 113M-553M; this
+	// reproduction defaults to a scaled-down length (see DESIGN.md).
+	TargetInsts uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Benchmarks restricts the suite to the named benchmarks (empty = all).
+	Benchmarks []string
+	// Replicates re-runs every (benchmark, config) cell with additional
+	// workload seeds and averages the IPC, tightening the estimates at a
+	// proportional simulation cost (0 or 1 = single run, the default).
+	Replicates int
+}
+
+func (o Options) replicates() int {
+	if o.Replicates < 2 {
+		return 1
+	}
+	return o.Replicates
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// suite materializes the benchmark programs once; they are reused across
+// all configurations of an experiment.
+// suite returns one generated program per (benchmark, replicate).
+func (o Options) suite() ([]workload.Benchmark, [][]*isa.Program, error) {
+	all := workload.Suite(o.TargetInsts)
+	var bms []workload.Benchmark
+	if len(o.Benchmarks) == 0 {
+		bms = all
+	} else {
+		for _, name := range o.Benchmarks {
+			bm, err := workload.ByName(name, o.TargetInsts)
+			if err != nil {
+				return nil, nil, err
+			}
+			bms = append(bms, bm)
+		}
+	}
+	reps := o.replicates()
+	progs := make([][]*isa.Program, len(bms))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	sem := make(chan struct{}, o.parallelism())
+	for i, bm := range bms {
+		progs[i] = make([]*isa.Program, reps)
+		for r := 0; r < reps; r++ {
+			wg.Add(1)
+			go func(i, r int, bm workload.Benchmark) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				spec := bm.Spec
+				spec.Seed += int64(1000 * r)
+				p, err := workload.Generate(spec)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				progs[i][r] = p
+			}(i, r, bm)
+		}
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, nil, errs[0]
+	}
+	return bms, progs, nil
+}
+
+// NamedConfig pairs a configuration with its display label.
+type NamedConfig struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Cell is one (benchmark, configuration) simulation outcome. With
+// replicates, IPC is the mean across workload seeds and Stats comes from
+// the canonical (replicate-0) seed.
+type Cell struct {
+	Benchmark string
+	Config    string
+	IPC       float64
+	Stats     stats.Sim
+	ipcByRep  []float64
+}
+
+// Matrix is a benchmark x configuration grid of simulation results.
+type Matrix struct {
+	Benchmarks []string
+	Configs    []string
+	cells      map[string]map[string]*Cell // benchmark -> config -> cell
+}
+
+// MarshalJSON renders the matrix as {benchmarks, configs, ipc} where ipc
+// maps benchmark -> config -> IPC, for machine-readable experiment output.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	ipc := make(map[string]map[string]float64, len(m.Benchmarks))
+	for _, b := range m.Benchmarks {
+		row := make(map[string]float64, len(m.Configs))
+		for _, c := range m.Configs {
+			row[c] = m.IPC(b, c)
+		}
+		ipc[b] = row
+	}
+	hmean := make(map[string]float64, len(m.Configs))
+	for _, c := range m.Configs {
+		hmean[c] = m.HarmonicMean(c)
+	}
+	return json.Marshal(struct {
+		Benchmarks []string                      `json:"benchmarks"`
+		Configs    []string                      `json:"configs"`
+		IPC        map[string]map[string]float64 `json:"ipc"`
+		HMean      map[string]float64            `json:"hmean"`
+	}{m.Benchmarks, m.Configs, ipc, hmean})
+}
+
+// Cell returns the result for (benchmark, config), or nil.
+func (m *Matrix) Cell(benchmark, config string) *Cell {
+	row := m.cells[benchmark]
+	if row == nil {
+		return nil
+	}
+	return row[config]
+}
+
+// IPC returns the IPC for (benchmark, config); 0 if missing.
+func (m *Matrix) IPC(benchmark, config string) float64 {
+	if c := m.Cell(benchmark, config); c != nil {
+		return c.IPC
+	}
+	return 0
+}
+
+// HarmonicMean returns the harmonic-mean IPC of a configuration across all
+// benchmarks, the aggregation the paper uses.
+func (m *Matrix) HarmonicMean(config string) float64 {
+	vals := make([]float64, 0, len(m.Benchmarks))
+	for _, b := range m.Benchmarks {
+		vals = append(vals, m.IPC(b, config))
+	}
+	return stats.HarmonicMeanIPC(vals)
+}
+
+// runMatrix simulates every benchmark under every configuration, in
+// parallel, reusing one generated program per benchmark.
+func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
+	bms, progs, err := opts.suite()
+	if err != nil {
+		return nil, err
+	}
+	mat := &Matrix{cells: make(map[string]map[string]*Cell)}
+	for _, bm := range bms {
+		mat.Benchmarks = append(mat.Benchmarks, bm.Spec.Name)
+		mat.cells[bm.Spec.Name] = make(map[string]*Cell)
+	}
+	for _, nc := range configs {
+		mat.Configs = append(mat.Configs, nc.Name)
+	}
+
+	type job struct {
+		bench string
+		prog  *isa.Program
+		nc    NamedConfig
+		rep   int
+	}
+	reps := opts.replicates()
+	jobs := make([]job, 0, len(bms)*len(configs)*reps)
+	for i, bm := range bms {
+		for _, nc := range configs {
+			for r := 0; r < reps; r++ {
+				jobs = append(jobs, job{bench: bm.Spec.Name, prog: progs[i][r], nc: nc, rep: r})
+			}
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	sem := make(chan struct{}, opts.parallelism())
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := core.Run(j.prog, j.nc.Cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
+				return
+			}
+			cell := mat.cells[j.bench][j.nc.Name]
+			if cell == nil {
+				cell = &Cell{
+					Benchmark: j.bench,
+					Config:    j.nc.Name,
+					ipcByRep:  make([]float64, reps),
+				}
+				mat.cells[j.bench][j.nc.Name] = cell
+			}
+			cell.ipcByRep[j.rep] = res.IPC
+			if j.rep == 0 {
+				// Replicate 0 (the suite's canonical seed) carries the
+				// detailed statistics; extra replicates only tighten IPC.
+				cell.Stats = res.Stats
+			}
+		}(j)
+	}
+	wg.Wait()
+	// Deterministic reduction regardless of goroutine completion order.
+	for _, row := range mat.cells {
+		for _, cell := range row {
+			if cell == nil {
+				continue
+			}
+			sum := 0.0
+			for _, v := range cell.ipcByRep {
+				sum += v
+			}
+			cell.IPC = sum / float64(len(cell.ipcByRep))
+		}
+	}
+	if len(errs) > 0 {
+		sort.Slice(errs, func(a, b int) bool { return errs[a].Error() < errs[b].Error() })
+		return nil, errs[0]
+	}
+	return mat, nil
+}
+
+// renderIPCTable renders a benchmark x configuration IPC grid with a
+// harmonic-mean row, in the paper's presentation style.
+func renderIPCTable(title string, m *Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s", "benchmark")
+	for _, c := range m.Configs {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteByte('\n')
+	for _, bm := range m.Benchmarks {
+		fmt.Fprintf(&b, "%-10s", bm)
+		for _, c := range m.Configs {
+			fmt.Fprintf(&b, " %18.3f", m.IPC(bm, c))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-10s", "hmean")
+	for _, c := range m.Configs {
+		fmt.Fprintf(&b, " %18.3f", m.HarmonicMean(c))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a SweepResult as an ASCII line chart, one glyph per
+// configuration, so cmd/experiments output conveys the figures' shapes
+// without external plotting tools.
+//
+//	5.2 |                          o  o
+//	    |              o   o
+//	    |      o                        *  *
+//	    |  o           *   *  *
+//	    |      *
+//	2.1 +---------------------------------
+//	      64     128    256    512   1024
+func (s *SweepResult) Plot(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	if len(s.Points) == 0 || len(s.Configs) == 0 {
+		return "(no data)\n"
+	}
+	glyphs := []byte{'o', '*', '+', 'x', '#', '@'}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		for _, c := range s.Configs {
+			v := p.IPC[c]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	// One column block per point, wide enough for labels.
+	colW := 7
+	width := len(s.Points) * colW
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(f * float64(height-1)))
+		return height - 1 - r // row 0 is the top
+	}
+	for pi, p := range s.Points {
+		col := pi*colW + colW/2
+		for ci, c := range s.Configs {
+			g := glyphs[ci%len(glyphs)]
+			r := row(p.IPC[c])
+			if grid[r][col] == ' ' {
+				grid[r][col] = g
+			} else {
+				// Overlapping series: mark the collision.
+				grid[r][col] = '='
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	for r := 0; r < height; r++ {
+		label := "      "
+		if r == 0 {
+			label = fmt.Sprintf("%6.2f", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%6.2f", lo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "       +%s\n        ", strings.Repeat("-", width))
+	for _, p := range s.Points {
+		lbl := p.Label
+		if i := strings.IndexByte(lbl, ' '); i > 0 {
+			lbl = lbl[:i] // first token: the numeric part
+		}
+		fmt.Fprintf(&b, "%-*s", colW, lbl)
+	}
+	b.WriteByte('\n')
+	for ci, c := range s.Configs {
+		fmt.Fprintf(&b, "        %c %s\n", glyphs[ci%len(glyphs)], c)
+	}
+	return b.String()
+}

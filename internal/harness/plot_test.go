@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFixture() *SweepResult {
+	return &SweepResult{
+		Title:   "fixture",
+		XLabel:  "x",
+		Configs: []string{"up", "down"},
+		Points: []SweepPoint{
+			{Label: "1 a", IPC: map[string]float64{"up": 1.0, "down": 4.0}},
+			{Label: "2 b", IPC: map[string]float64{"up": 2.0, "down": 3.0}},
+			{Label: "3 c", IPC: map[string]float64{"up": 3.0, "down": 2.0}},
+			{Label: "4 d", IPC: map[string]float64{"up": 4.0, "down": 1.0}},
+		},
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	out := plotFixture().Plot(8)
+	for _, want := range []string{"fixture", "o up", "* down", "4.00", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' glyph must appear higher (earlier line) at the
+	// last point than at the first.
+	lines := strings.Split(out, "\n")
+	firstO, lastO := -1, -1
+	for i, line := range lines {
+		body := line
+		if idx := strings.IndexByte(line, '|'); idx >= 0 {
+			body = line[idx:]
+		} else {
+			continue
+		}
+		if strings.Contains(body, "o") {
+			if firstO == -1 {
+				firstO = i
+			}
+			lastO = i
+		}
+	}
+	if firstO == -1 || firstO == lastO {
+		t.Fatalf("rising series not spread across rows:\n%s", out)
+	}
+}
+
+func TestPlotHandlesDegenerateData(t *testing.T) {
+	s := &SweepResult{Title: "t", Configs: []string{"a"},
+		Points: []SweepPoint{{Label: "p", IPC: map[string]float64{"a": 2}}}}
+	out := s.Plot(2) // height clamps up
+	if !strings.Contains(out, "o a") {
+		t.Errorf("degenerate plot: %s", out)
+	}
+	empty := &SweepResult{Title: "e"}
+	if !strings.Contains(empty.Plot(5), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestPlotMarksCollisions(t *testing.T) {
+	s := &SweepResult{
+		Title:   "c",
+		Configs: []string{"a", "b"},
+		Points: []SweepPoint{
+			{Label: "1", IPC: map[string]float64{"a": 1, "b": 1}},
+			{Label: "2", IPC: map[string]float64{"a": 2, "b": 2}},
+		},
+	}
+	if !strings.Contains(s.Plot(6), "=") {
+		t.Error("coincident series should be marked with =")
+	}
+}

@@ -1,0 +1,385 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual assembly program into a Program. The syntax is
+// the same as Disasm's output, extended with labels and data directives,
+// so programs round-trip through the disassembler:
+//
+//	; comments run to end of line
+//	.name  myprog          ; program name (optional)
+//	.data  1 2 3           ; append literal words to the data segment
+//	.dataword label        ; append a word holding a label's address
+//
+//	start:
+//	    li    r1, 100
+//	loop:
+//	    addi  r1, r1, -1
+//	    load  r2, 4(r1)
+//	    store r2, 8(r1)
+//	    bne   r1, r0, loop ; branch targets: label or @absolute
+//	    call  r28, fn
+//	    jri   (r4)
+//	    halt
+//	fn:
+//	    ret   (r28)
+//
+// Registers are written r0..r31. Memory is sized to the next power of two
+// covering the data segment plus scratch headroom, as the workload builder
+// does.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		labels: make(map[string]int),
+		name:   "asm",
+	}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", ln+1, err)
+		}
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble that panics on error, for tests and fixtures.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type asmFixup struct {
+	pc    int
+	label string
+}
+
+type asmDataFixup struct {
+	idx   int
+	label string
+}
+
+type assembler struct {
+	name       string
+	code       []Inst
+	data       []int64
+	labels     map[string]int
+	fixups     []asmFixup
+	dataFixups []asmDataFixup
+}
+
+func (a *assembler) line(raw string) error {
+	s := raw
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+
+	// Directives.
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+
+	// Labels (possibly followed by an instruction on the same line).
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !validLabel(label) {
+			return fmt.Errorf("invalid label %q", label)
+		}
+		if _, dup := a.labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.labels[label] = len(a.code)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) directive(s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".name":
+		if len(fields) != 2 {
+			return fmt.Errorf(".name takes one argument")
+		}
+		a.name = fields[1]
+		return nil
+	case ".data":
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 0, 64)
+			if err != nil {
+				return fmt.Errorf(".data word %q: %v", f, err)
+			}
+			a.data = append(a.data, v)
+		}
+		return nil
+	case ".dataword":
+		if len(fields) != 2 {
+			return fmt.Errorf(".dataword takes one label")
+		}
+		a.dataFixups = append(a.dataFixups, asmDataFixup{idx: len(a.data), label: fields[1]})
+		a.data = append(a.data, 0)
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+var asmOps = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := Op(0); op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (a *assembler) instruction(s string) error {
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := asmOps[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitArgs(rest)
+	in := Inst{Op: op}
+
+	switch {
+	case op == Nop || op == Halt:
+		if len(args) != 0 {
+			return fmt.Errorf("%s takes no operands", op)
+		}
+	case op == Li:
+		if len(args) != 2 {
+			return fmt.Errorf("li takes rDst, imm")
+		}
+		return a.emitWith(in, func(in *Inst) error {
+			var err error
+			if in.Dst, err = parseReg(args[0]); err != nil {
+				return err
+			}
+			in.Imm, err = parseImm(args[1])
+			return err
+		})
+	case op == Load:
+		if len(args) != 2 {
+			return fmt.Errorf("load takes rDst, imm(rBase)")
+		}
+		return a.emitWith(in, func(in *Inst) error {
+			var err error
+			if in.Dst, err = parseReg(args[0]); err != nil {
+				return err
+			}
+			in.Imm, in.Src1, err = parseMem(args[1])
+			return err
+		})
+	case op == Store:
+		if len(args) != 2 {
+			return fmt.Errorf("store takes rSrc, imm(rBase)")
+		}
+		return a.emitWith(in, func(in *Inst) error {
+			var err error
+			if in.Src2, err = parseReg(args[0]); err != nil {
+				return err
+			}
+			in.Imm, in.Src1, err = parseMem(args[1])
+			return err
+		})
+	case op.IsCondBranch():
+		if len(args) != 3 {
+			return fmt.Errorf("%s takes rA, rB, target", op)
+		}
+		var err error
+		if in.Src1, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(args[1]); err != nil {
+			return err
+		}
+		return a.emitTarget(in, args[2])
+	case op == Jmp:
+		if len(args) != 1 {
+			return fmt.Errorf("jmp takes a target")
+		}
+		return a.emitTarget(in, args[0])
+	case op == Call:
+		if len(args) != 2 {
+			return fmt.Errorf("call takes rLink, target")
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0]); err != nil {
+			return err
+		}
+		return a.emitTarget(in, args[1])
+	case op == Jri || op == Ret:
+		if len(args) != 1 {
+			return fmt.Errorf("%s takes (rTarget)", op)
+		}
+		return a.emitWith(in, func(in *Inst) error {
+			var err error
+			in.Src1, err = parseReg(strings.Trim(args[0], "()"))
+			return err
+		})
+	default:
+		// Three-operand ALU: dst, src1, (src2 | imm).
+		if len(args) != 3 {
+			return fmt.Errorf("%s takes rDst, rSrc1, (rSrc2|imm)", op)
+		}
+		return a.emitWith(in, func(in *Inst) error {
+			var err error
+			if in.Dst, err = parseReg(args[0]); err != nil {
+				return err
+			}
+			if in.Src1, err = parseReg(args[1]); err != nil {
+				return err
+			}
+			if op.ReadsSrc2() {
+				in.Src2, err = parseReg(args[2])
+				return err
+			}
+			in.Imm, err = parseImm(args[2])
+			return err
+		})
+	}
+	a.code = append(a.code, in)
+	return nil
+}
+
+func (a *assembler) emitWith(in Inst, fill func(*Inst) error) error {
+	if err := fill(&in); err != nil {
+		return err
+	}
+	a.code = append(a.code, in)
+	return nil
+}
+
+// emitTarget emits a control instruction whose target is either an
+// @absolute index or a label resolved at finish time.
+func (a *assembler) emitTarget(in Inst, arg string) error {
+	if strings.HasPrefix(arg, "@") {
+		t, err := strconv.Atoi(arg[1:])
+		if err != nil {
+			return fmt.Errorf("bad absolute target %q", arg)
+		}
+		in.Target = int32(t)
+	} else {
+		if !validLabel(arg) {
+			return fmt.Errorf("bad target label %q", arg)
+		}
+		a.fixups = append(a.fixups, asmFixup{pc: len(a.code), label: arg})
+	}
+	a.code = append(a.code, in)
+	return nil
+}
+
+func (a *assembler) finish() (*Program, error) {
+	for _, f := range a.fixups {
+		t, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		a.code[f.pc].Target = int32(t)
+	}
+	for _, f := range a.dataFixups {
+		t, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined data label %q", f.label)
+		}
+		a.data[f.idx] = int64(t)
+	}
+	memWords := 1
+	for memWords < len(a.data)+1024 {
+		memWords <<= 1
+	}
+	p := &Program{Name: a.name, Code: a.code, DataInit: a.data, MemWords: memWords}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "imm(rBase)".
+func parseMem(s string) (int64, Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	imm := int64(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" || strings.HasPrefix(s, "@") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

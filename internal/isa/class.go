@@ -1,0 +1,86 @@
+package isa
+
+// FUClass identifies which functional unit class an operation needs. The
+// split mirrors the paper's machine model (Sec. 4.2), which is taken from
+// the Alpha AXP-21164: two integer pipes with slightly different
+// capabilities, separate FP add and FP multiply pipes, and D-cache ports.
+type FUClass uint8
+
+const (
+	// ClassIntEither operations may issue to an IntType0 or IntType1 unit
+	// (simple add/sub/logical ops, as on the 21164's E0/E1 pipes).
+	ClassIntEither FUClass = iota
+	// ClassIntType0 operations (shifts, multiply) only issue to IntType0.
+	ClassIntType0
+	// ClassIntType1 operations (conditional branches, jumps) only issue to
+	// IntType1.
+	ClassIntType1
+	// ClassMem operations (loads, stores) need a D-cache memory port.
+	ClassMem
+	// ClassFPAdd operations need the FP adder.
+	ClassFPAdd
+	// ClassFPMul operations need the FP multiplier.
+	ClassFPMul
+	// ClassNone operations (nop, halt) need no functional unit but still
+	// occupy a window slot until commit.
+	ClassNone
+
+	// NumFUClasses is the number of distinct functional unit classes.
+	NumFUClasses = int(ClassNone) + 1
+)
+
+var classNames = [NumFUClasses]string{
+	ClassIntEither: "int-either",
+	ClassIntType0:  "int-type0",
+	ClassIntType1:  "int-type1",
+	ClassMem:       "mem",
+	ClassFPAdd:     "fp-add",
+	ClassFPMul:     "fp-mul",
+	ClassNone:      "none",
+}
+
+// String returns a human-readable class name.
+func (c FUClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "fu-class(?)"
+}
+
+// Class returns the functional unit class required by op.
+func (op Op) Class() FUClass {
+	switch op {
+	case Add, Sub, And, Or, Xor, Slt, Addi, Andi, Ori, Xori, Slti, Li:
+		return ClassIntEither
+	case Shl, Shr, Shli, Shri, Mul:
+		return ClassIntType0
+	case Beq, Bne, Blt, Bge, Jmp, Jri, Call, Ret:
+		return ClassIntType1
+	case Load, Store:
+		return ClassMem
+	case FAdd:
+		return ClassFPAdd
+	case FMul:
+		return ClassFPMul
+	default:
+		return ClassNone
+	}
+}
+
+// Latency returns the execution latency of op in cycles, following the
+// AXP-21164-derived latencies of the paper's model: simple integer ops take
+// 1 cycle, integer multiply 8, FP operations 4, and loads 2 (1 cycle address
+// computation + 1 cycle cache access). A store's latency covers address and
+// data capture into the store buffer; its memory write happens at commit.
+func (op Op) Latency() int {
+	switch op {
+	case Mul:
+		return 8
+	case FAdd, FMul:
+		return 4
+	case Load:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a single instruction as assembly-like text.
+func Disasm(in Inst) string {
+	switch {
+	case in.Op == Nop || in.Op == Halt:
+		return in.Op.String()
+	case in.Op == Li:
+		return fmt.Sprintf("li    r%d, %d", in.Dst, in.Imm)
+	case in.Op == Load:
+		return fmt.Sprintf("load  r%d, %d(r%d)", in.Dst, in.Imm, in.Src1)
+	case in.Op == Store:
+		return fmt.Sprintf("store r%d, %d(r%d)", in.Src2, in.Imm, in.Src1)
+	case in.Op.IsCondBranch():
+		return fmt.Sprintf("%-5s r%d, r%d, @%d", in.Op, in.Src1, in.Src2, in.Target)
+	case in.Op == Jmp:
+		return fmt.Sprintf("jmp   @%d", in.Target)
+	case in.Op == Jri:
+		return fmt.Sprintf("jri   (r%d)", in.Src1)
+	case in.Op == Call:
+		return fmt.Sprintf("call  r%d, @%d", in.Dst, in.Target)
+	case in.Op == Ret:
+		return fmt.Sprintf("ret   (r%d)", in.Src1)
+	case in.Op.ReadsSrc2():
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", in.Op, in.Dst, in.Src1, in.Src2)
+	default:
+		return fmt.Sprintf("%-5s r%d, r%d, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	}
+}
+
+// DisasmProgram renders the whole program, one instruction per line with
+// its PC, suitable for debugging generated workloads.
+func DisasmProgram(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %q: %d instructions, %d memory words\n", p.Name, len(p.Code), p.MemWords)
+	for pc, in := range p.Code {
+		fmt.Fprintf(&b, "%6d: %s\n", pc, Disasm(in))
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile is a dynamic instruction-mix summary of a functional execution.
+type Profile struct {
+	Total    uint64
+	ByOp     map[Op]uint64
+	ByClass  map[FUClass]uint64
+	Branches uint64
+	Taken    uint64
+	Loads    uint64
+	Stores   uint64
+}
+
+// ProfileProgram functionally executes p (bounded by maxInsts) and counts
+// the dynamic instruction mix — the instrument behind workload mix
+// calibration and the polysim -mix flag.
+func ProfileProgram(p *Program, maxInsts uint64) (*Profile, error) {
+	it := NewInterp(p)
+	prof := &Profile{
+		ByOp:    make(map[Op]uint64),
+		ByClass: make(map[FUClass]uint64),
+	}
+	for !it.Halted && it.InstCount < maxInsts {
+		pc := it.PC
+		in := p.Code[pc]
+		if err := it.Step(); err != nil {
+			return nil, err
+		}
+		prof.Total++
+		prof.ByOp[in.Op]++
+		prof.ByClass[in.Op.Class()]++
+		switch {
+		case in.Op.IsCondBranch():
+			prof.Branches++
+			if it.PC == int(in.Target) {
+				prof.Taken++
+			}
+		case in.Op == Load:
+			prof.Loads++
+		case in.Op == Store:
+			prof.Stores++
+		}
+	}
+	return prof, nil
+}
+
+// Frac returns the dynamic fraction of instructions with opcode op.
+func (p *Profile) Frac(op Op) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.ByOp[op]) / float64(p.Total)
+}
+
+// String renders the mix sorted by frequency.
+func (p *Profile) String() string {
+	type row struct {
+		op Op
+		n  uint64
+	}
+	rows := make([]row, 0, len(p.ByOp))
+	for op, n := range p.ByOp {
+		rows = append(rows, row{op, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].op < rows[j].op
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "dynamic instructions: %d\n", p.Total)
+	if p.Branches > 0 {
+		fmt.Fprintf(&b, "cond branches: %d (%.1f%%, %.0f%% taken)\n",
+			p.Branches, 100*float64(p.Branches)/float64(p.Total),
+			100*float64(p.Taken)/float64(p.Branches))
+	}
+	fmt.Fprintf(&b, "loads: %.1f%%  stores: %.1f%%\n",
+		100*float64(p.Loads)/float64(max64(p.Total, 1)),
+		100*float64(p.Stores)/float64(max64(p.Total, 1)))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6s %10d  %5.1f%%\n", r.op, r.n, 100*float64(r.n)/float64(p.Total))
+	}
+	return b.String()
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func cacheConfig(miss int) Config {
+	cfg := DefaultConfig()
+	cfg.EnableDCache = true
+	cfg.DCache = cache.Config{Sets: 32, Ways: 2, LineWords: 8}
+	cfg.DCacheMissLatency = miss
+	cfg.EnableICache = true
+	cfg.ICache = cache.Config{Sets: 64, Ways: 2, LineWords: 8}
+	cfg.ICacheMissLatency = miss
+	return cfg
+}
+
+func TestCacheModelArchEquivalence(t *testing.T) {
+	// Caches change timing only, never values: architectural state must be
+	// identical with and without them, for both execution models.
+	prog := diamondProgram(30_000, 0.5)
+	for _, mode := range []Mode{Monopath, PolyPath} {
+		cfg := cacheConfig(10)
+		cfg.Mode = mode
+		if mode == Monopath {
+			cfg.Confidence.Kind = ConfAlwaysHigh
+		}
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if m.Stats.DCacheAccesses == 0 || m.Stats.ICacheAccesses == 0 {
+			t.Errorf("mode %v: cache counters not populated", mode)
+		}
+	}
+}
+
+func TestCacheMissesSlowTheMachine(t *testing.T) {
+	prog := diamondProgram(30_000, 0.5)
+	base := DefaultConfig()
+	base.Mode = Monopath
+	base.Confidence.Kind = ConfAlwaysHigh
+	mBase, err := New(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mBase.Run(); err != nil {
+		t.Fatal(err)
+	}
+	slow := cacheConfig(20)
+	slow.Mode = Monopath
+	slow.Confidence.Kind = ConfAlwaysHigh
+	mSlow, err := New(prog, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mSlow.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mSlow.Stats.DCacheMisses == 0 {
+		t.Fatal("expected data cache misses with a 256-word cache")
+	}
+	if mSlow.Stats.IPC() >= mBase.Stats.IPC() {
+		t.Errorf("cache misses should reduce IPC: %.3f vs always-hit %.3f",
+			mSlow.Stats.IPC(), mBase.Stats.IPC())
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	prog := diamondProgram(5_000, 0.5)
+	bad := cacheConfig(10)
+	bad.DCache.Sets = 3
+	if _, err := New(prog, bad); err == nil {
+		t.Error("expected invalid dcache config error")
+	}
+	bad2 := cacheConfig(0)
+	if _, err := New(prog, bad2); err == nil {
+		t.Error("expected invalid miss latency error")
+	}
+	bad3 := cacheConfig(10)
+	bad3.ICache.LineWords = 0
+	if _, err := New(prog, bad3); err == nil {
+		t.Error("expected invalid icache config error")
+	}
+}
+
+func TestICacheStallsFetch(t *testing.T) {
+	prog := diamondProgram(20_000, 0.5)
+	cfg := cacheConfig(30)
+	cfg.ICache = cache.Config{Sets: 1, Ways: 1, LineWords: 1} // pathological
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyArchState(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.ICacheMissRate() < 0.5 {
+		t.Errorf("one-line icache should thrash, miss rate %.2f", m.Stats.ICacheMissRate())
+	}
+	// With a 30-cycle refill per instruction line, IPC must collapse.
+	if m.Stats.IPC() > 0.2 {
+		t.Errorf("IPC %.3f too high for a thrashing icache", m.Stats.IPC())
+	}
+}
+
+// TestCacheLatencyMonotonic is a regression test for the completion-ring
+// sizing bug: a miss latency larger than the old fixed ring (16 entries)
+// must actually slow the machine down, not alias to a short latency.
+func TestCacheLatencyMonotonic(t *testing.T) {
+	prog := diamondProgram(20_000, 0.5)
+	run := func(miss int) float64 {
+		cfg := cacheConfig(miss)
+		cfg.Mode = Monopath
+		cfg.Confidence.Kind = ConfAlwaysHigh
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.IPC()
+	}
+	fast, mid, slow := run(4), run(12), run(40)
+	if !(fast > mid && mid > slow) {
+		t.Errorf("IPC must fall with miss latency: %.3f, %.3f, %.3f", fast, mid, slow)
+	}
+}

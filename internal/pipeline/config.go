@@ -1,0 +1,342 @@
+// Package pipeline implements the cycle-level micro-architecture simulator
+// of the PolyPath paper: an 8-wide, out-of-order, in-order-commit machine
+// (Fig. 1) extended with context tags, a context manager, per-path register
+// maps and confidence-guided selective eager execution (Fig. 2).
+//
+// The simulator is execution-driven: instructions — including wrong-path
+// instructions after divergent or mispredicted branches — execute with real
+// register values, and the committed architectural state is bit-identical
+// to the functional interpreter's (enforced by integration tests).
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/confidence"
+)
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// Monopath is the baseline speculative architecture: every branch
+	// follows its prediction, mispredictions pay the full recovery
+	// penalty.
+	Monopath Mode = iota
+	// PolyPath enables selective eager execution: low-confidence branches
+	// diverge and both successor paths execute until resolution.
+	PolyPath
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Monopath:
+		return "monopath"
+	case PolyPath:
+		return "polypath"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PredictorKind selects the branch direction predictor.
+type PredictorKind int
+
+const (
+	// PredGshare is the paper's baseline (McFarling).
+	PredGshare PredictorKind = iota
+	// PredBimodal is a per-address 2-bit counter table.
+	PredBimodal
+	// PredStatic is backward-taken/forward-not-taken.
+	PredStatic
+	// PredOracle predicts perfectly on the architecturally correct path
+	// (the "oracle" bars of Fig. 8).
+	PredOracle
+	// PredLocal is a two-level local-history (PAg) predictor.
+	PredLocal
+	// PredCombining is McFarling's combining predictor (bimodal + gshare
+	// with a chooser).
+	PredCombining
+)
+
+// ConfidenceKind selects the branch confidence estimator.
+type ConfidenceKind int
+
+const (
+	// ConfJRS is the Jacobsen-Rotenberg-Smith estimator with resetting
+	// counters (the paper's real estimator).
+	ConfJRS ConfidenceKind = iota
+	// ConfOracle is the perfect estimator: low confidence exactly on
+	// mispredictions ("gshare/oracle" in Fig. 8).
+	ConfOracle
+	// ConfAlwaysHigh never diverges (monopath behaviour).
+	ConfAlwaysHigh
+	// ConfAlwaysLow diverges on every branch resources permit.
+	ConfAlwaysLow
+	// ConfAdaptive is JRS wrapped with the PVN monitor of Sec. 5.1's
+	// "lesson learned".
+	ConfAdaptive
+)
+
+// PredictorSpec configures the direction predictor.
+type PredictorSpec struct {
+	Kind PredictorKind
+	// HistBits is the history length / log2 table size for gshare (index
+	// bits for bimodal). The paper's baseline is 14.
+	HistBits int
+}
+
+// ConfidenceSpec configures the confidence estimator.
+type ConfidenceSpec struct {
+	Kind ConfidenceKind
+	// IndexBits is log2 of the JRS table (paper: same as the predictor).
+	IndexBits int
+	// CtrBits is the JRS counter width (paper: 1).
+	CtrBits int
+	// Threshold overrides the high-confidence threshold (0 = saturation).
+	Threshold int
+	// EnhancedIndex includes the current prediction in the JRS index
+	// (paper's enhancement; on in the baseline).
+	EnhancedIndex bool
+	// AdaptiveMinPVN / AdaptiveWindow configure ConfAdaptive.
+	AdaptiveMinPVN float64
+	AdaptiveWindow int
+}
+
+// Config describes the simulated machine. DefaultConfig returns the
+// paper's baseline (Sec. 4.2).
+type Config struct {
+	Mode Mode
+
+	// Widths (instructions per cycle).
+	FetchWidth  int
+	RenameWidth int
+	CommitWidth int
+
+	// FrontEndStages is the number of in-order front-end stages between
+	// fetch and window insertion; the total pipeline depth reported in
+	// Fig. 12 is FrontEndStages + 3 (window/issue, execute, commit).
+	FrontEndStages int
+
+	// WindowSize is the central instruction window / reorder buffer size.
+	WindowSize int
+
+	// Functional units.
+	NumIntType0 int
+	NumIntType1 int
+	NumFPAdd    int
+	NumFPMul    int
+	NumMemPorts int
+
+	// Rename resources.
+	PhysRegs    int
+	Checkpoints int
+
+	// PolyPath context resources.
+	CtxHistoryWidth int // CTX-tag history positions (max unresolved divergences)
+	MaxPaths        int // CTX table entries
+	MaxDivergences  int // cap on simultaneous divergences; 0 = unlimited, 1 = dual-path
+
+	Predictor  PredictorSpec
+	Confidence ConfidenceSpec
+
+	// FetchPolicy selects the multi-path fetch arbitration scheme
+	// (Sec. 3.2.6 calls fetch policy a topic of future work; the paper's
+	// evaluation uses the exponential-decay policy).
+	FetchPolicy FetchPolicy
+
+	// Memory hierarchy extension. The paper's baseline assumes always-hit
+	// caches (Sec. 4.2); enabling these replaces that assumption with a
+	// set-associative LRU cache model and a fixed miss penalty, for the
+	// memory-sensitivity extension study.
+	EnableDCache      bool
+	DCache            cache.Config
+	DCacheMissLatency int
+	EnableICache      bool
+	ICache            cache.Config
+	ICacheMissLatency int
+
+	// BTBBits sizes the branch target buffer used for indirect jumps
+	// (2^BTBBits entries). Workloads without indirect jumps never touch
+	// it.
+	BTBBits int
+
+	// RASDepth sizes the return-address stack predicting function-return
+	// targets. Each path carries its own speculative copy.
+	RASDepth int
+
+	// EnableMRC adds a misprediction recovery cache (Bondi et al, the
+	// paper's related work [1]): decoded sequences at previous recovery
+	// targets are injected past the front end on later recoveries.
+	EnableMRC bool
+	// MRCBits sizes the recovery cache (2^MRCBits lines; 0 = 8).
+	MRCBits int
+
+	// ResolutionBuses bounds how many branches may resolve per cycle
+	// (Sec. 3.2.3: "If support for multiple branch resolutions per cycle
+	// is desired, multiple branch resolution busses are necessary").
+	// 0 means unlimited.
+	ResolutionBuses int
+
+	// NonSpeculativeHistory disables speculative global-history update:
+	// predictions index with the architectural (commit-time) history
+	// instead of the per-path speculative history. The paper reports that
+	// speculative update improves prediction accuracy by about 1%
+	// (Sec. 4.2); this knob exists for that ablation.
+	NonSpeculativeHistory bool
+
+	// MaxInsts bounds committed instructions (0 = run to Halt).
+	MaxInsts uint64
+}
+
+// FetchPolicy selects how live paths share fetch bandwidth.
+type FetchPolicy int
+
+const (
+	// FetchExponential gives each older path half of the remaining
+	// bandwidth (the paper's policy): bandwidth decreases exponentially
+	// with a path's distance from the oldest divergence.
+	FetchExponential FetchPolicy = iota
+	// FetchRoundRobin divides bandwidth evenly across live paths.
+	FetchRoundRobin
+)
+
+// DefaultConfig returns the paper's baseline machine: 8-wide, 8-stage,
+// 256-entry window, 4+4 integer ALUs, 4+4 FP units, 4 memory ports,
+// gshare(14) with speculative history update, JRS 1-bit estimator with
+// enhanced indexing.
+func DefaultConfig() Config {
+	return Config{
+		Mode:            PolyPath,
+		FetchWidth:      8,
+		RenameWidth:     8,
+		CommitWidth:     8,
+		FrontEndStages:  5,
+		WindowSize:      256,
+		NumIntType0:     4,
+		NumIntType1:     4,
+		NumFPAdd:        4,
+		NumFPMul:        4,
+		NumMemPorts:     4,
+		PhysRegs:        0, // derived: NumRegs + WindowSize + 64
+		Checkpoints:     0, // derived: max(16, WindowSize/4)
+		CtxHistoryWidth: 8,
+		MaxPaths:        24,
+		MaxDivergences:  0,
+		BTBBits:         9,
+		RASDepth:        16,
+		Predictor:       PredictorSpec{Kind: PredGshare, HistBits: 11},
+		Confidence: ConfidenceSpec{
+			Kind:          ConfJRS,
+			IndexBits:     11,
+			CtrBits:       1,
+			EnhancedIndex: true,
+		},
+	}
+}
+
+// PipelineDepth returns the total pipeline depth as the paper counts it.
+func (c Config) PipelineDepth() int { return c.FrontEndStages + 3 }
+
+// normalize fills derived defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if c.PhysRegs == 0 {
+		c.PhysRegs = 32 + c.WindowSize + 64
+	}
+	if c.Checkpoints == 0 {
+		c.Checkpoints = c.WindowSize / 4
+		if c.Checkpoints < 16 {
+			c.Checkpoints = 16
+		}
+	}
+	switch {
+	case c.FetchWidth < 1 || c.RenameWidth < 1 || c.CommitWidth < 1:
+		return c, fmt.Errorf("pipeline: widths must be positive")
+	case c.FrontEndStages < 1:
+		return c, fmt.Errorf("pipeline: FrontEndStages must be >= 1")
+	case c.WindowSize < 4:
+		return c, fmt.Errorf("pipeline: WindowSize must be >= 4")
+	case c.NumIntType0 < 1 || c.NumIntType1 < 1 || c.NumFPAdd < 1 || c.NumFPMul < 1 || c.NumMemPorts < 1:
+		return c, fmt.Errorf("pipeline: need at least one functional unit of each type")
+	case c.PhysRegs < 32+c.WindowSize:
+		return c, fmt.Errorf("pipeline: PhysRegs %d cannot cover 32 logical + %d window entries", c.PhysRegs, c.WindowSize)
+	case c.Checkpoints < 1:
+		return c, fmt.Errorf("pipeline: need at least one checkpoint")
+	case c.CtxHistoryWidth < 1 || c.CtxHistoryWidth > 32:
+		return c, fmt.Errorf("pipeline: CtxHistoryWidth %d out of [1,32]", c.CtxHistoryWidth)
+	case c.MaxPaths < 3:
+		return c, fmt.Errorf("pipeline: MaxPaths must be >= 3 (parent + two children)")
+	case c.MaxDivergences < 0:
+		return c, fmt.Errorf("pipeline: MaxDivergences must be >= 0")
+	case c.ResolutionBuses < 0:
+		return c, fmt.Errorf("pipeline: ResolutionBuses must be >= 0")
+	}
+	if c.BTBBits == 0 {
+		c.BTBBits = 9
+	}
+	if c.BTBBits < 1 || c.BTBBits > 20 {
+		return c, fmt.Errorf("pipeline: BTBBits %d out of [1,20]", c.BTBBits)
+	}
+	if c.RASDepth == 0 {
+		c.RASDepth = 16
+	}
+	if c.RASDepth < 1 || c.RASDepth > 1024 {
+		return c, fmt.Errorf("pipeline: RASDepth %d out of [1,1024]", c.RASDepth)
+	}
+	if c.MRCBits == 0 {
+		c.MRCBits = 8
+	}
+	if c.MRCBits < 1 || c.MRCBits > 16 {
+		return c, fmt.Errorf("pipeline: MRCBits %d out of [1,16]", c.MRCBits)
+	}
+	if c.EnableDCache {
+		if err := c.DCache.Validate(); err != nil {
+			return c, err
+		}
+		if c.DCacheMissLatency < 1 {
+			return c, fmt.Errorf("pipeline: DCacheMissLatency must be >= 1")
+		}
+	}
+	if c.EnableICache {
+		if err := c.ICache.Validate(); err != nil {
+			return c, err
+		}
+		if c.ICacheMissLatency < 1 {
+			return c, fmt.Errorf("pipeline: ICacheMissLatency must be >= 1")
+		}
+	}
+	return c, nil
+}
+
+// buildConfidence constructs the estimator for a spec.
+func buildConfidence(cs ConfidenceSpec) (confidence.Estimator, error) {
+	switch cs.Kind {
+	case ConfJRS, ConfAdaptive:
+		jrs := confidence.NewJRS(confidence.JRSConfig{
+			IndexBits:     cs.IndexBits,
+			CtrBits:       cs.CtrBits,
+			Threshold:     cs.Threshold,
+			EnhancedIndex: cs.EnhancedIndex,
+		})
+		if cs.Kind == ConfJRS {
+			return jrs, nil
+		}
+		minPVN, window := cs.AdaptiveMinPVN, cs.AdaptiveWindow
+		if minPVN == 0 {
+			minPVN = 0.30
+		}
+		if window == 0 {
+			window = 256
+		}
+		return confidence.NewAdaptive(jrs, confidence.AdaptiveConfig{MinPVN: minPVN, Window: window}), nil
+	case ConfOracle:
+		return confidence.Oracle{}, nil
+	case ConfAlwaysHigh:
+		return confidence.AlwaysHigh{}, nil
+	case ConfAlwaysLow:
+		return confidence.AlwaysLow{}, nil
+	default:
+		return nil, fmt.Errorf("pipeline: unknown confidence kind %d", cs.Kind)
+	}
+}

@@ -1,0 +1,602 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/ctxtag"
+	"repro/internal/isa"
+)
+
+// issue scans the window oldest-first and issues ready instructions to
+// free functional units (one issue per unit per cycle; all units are
+// pipelined). Loads obey the memory-ordering rule: every older store on
+// the load's path ancestry must have computed its address, and a matching
+// store forwards its data through the CTX-filtered store buffer.
+func (m *Machine) issue() {
+	availInt0 := m.cfg.NumIntType0
+	availInt1 := m.cfg.NumIntType1
+	availFPAdd := m.cfg.NumFPAdd
+	availFPMul := m.cfg.NumFPMul
+	availMem := m.cfg.NumMemPorts
+
+	// Stores older than the current scan point (the window is seq-sorted,
+	// so this accumulates exactly the "older stores" set for each load).
+	var stores []*entry
+
+	for _, e := range m.window {
+		if e.state != stateWaiting {
+			if e.isStore {
+				stores = append(stores, e)
+			}
+			continue
+		}
+		if e.readsSrc1 && !m.physReady[e.src1Phys] {
+			if e.isStore {
+				stores = append(stores, e)
+			}
+			continue
+		}
+		// Store address generation is decoupled from the data operand
+		// (STA/STD split): once the base register is ready the effective
+		// address is known for disambiguation, even while the store waits
+		// for its data.
+		if e.isStore && !e.addrReady {
+			e.addr = isa.EffAddr(m.physVal[e.src1Phys], e.inst.Imm, m.prog.MemWords)
+			e.addrReady = true
+		}
+		if e.readsSrc2 && !m.physReady[e.src2Phys] {
+			if e.isStore {
+				stores = append(stores, e)
+			}
+			continue
+		}
+
+		var unit isa.FUClass
+		ok := false
+		switch e.inst.Op.Class() {
+		case isa.ClassIntEither:
+			if availInt0 > 0 {
+				unit, ok = isa.ClassIntType0, true
+			} else if availInt1 > 0 {
+				unit, ok = isa.ClassIntType1, true
+			}
+		case isa.ClassIntType0:
+			ok = availInt0 > 0
+			unit = isa.ClassIntType0
+		case isa.ClassIntType1:
+			ok = availInt1 > 0
+			unit = isa.ClassIntType1
+		case isa.ClassMem:
+			ok = availMem > 0
+			unit = isa.ClassMem
+		case isa.ClassFPAdd:
+			ok = availFPAdd > 0
+			unit = isa.ClassFPAdd
+		case isa.ClassFPMul:
+			ok = availFPMul > 0
+			unit = isa.ClassFPMul
+		}
+		if !ok {
+			if e.isStore {
+				stores = append(stores, e)
+			}
+			continue
+		}
+
+		lat := e.inst.Op.Latency()
+		if e.isLoad {
+			issued, forwarded := m.issueLoad(e, stores)
+			if !issued {
+				continue
+			}
+			if forwarded {
+				lat = 1 // 1-cycle store-buffer forward (Sec. 4.2)
+			} else if m.dcache != nil {
+				m.Stats.DCacheAccesses++
+				if !m.dcache.Access(e.addr) {
+					m.Stats.DCacheMisses++
+					lat += m.cfg.DCacheMissLatency
+				}
+			}
+		} else {
+			m.execute(e)
+		}
+
+		e.state = stateExecuting
+		m.schedule(e, lat)
+		if m.tracer != nil {
+			m.emit(TraceIssue, e.seq, e.pc, e.tag, unit.String())
+		}
+		m.Stats.FUIssued[unit]++
+		switch unit {
+		case isa.ClassIntType0:
+			availInt0--
+		case isa.ClassIntType1:
+			availInt1--
+		case isa.ClassFPAdd:
+			availFPAdd--
+		case isa.ClassFPMul:
+			availFPMul--
+		case isa.ClassMem:
+			availMem--
+		}
+		if e.isStore {
+			stores = append(stores, e)
+		}
+	}
+}
+
+// execute computes e's result with real operand values (the execution-
+// driven contract: wrong paths compute wrong values).
+func (m *Machine) execute(e *entry) {
+	var v1, v2 int64
+	if e.readsSrc1 {
+		v1 = m.physVal[e.src1Phys]
+	}
+	if e.readsSrc2 {
+		v2 = m.physVal[e.src2Phys]
+	}
+	op := e.inst.Op
+	switch {
+	case op.IsCondBranch():
+		e.outcome = isa.EvalBranch(op, v1, v2)
+	case op == isa.Jmp:
+		// Direct jump: nothing to compute.
+	case op == isa.Jri || op == isa.Ret:
+		e.actualTarget = isa.IndirectTarget(v1, len(m.prog.Code))
+	case op == isa.Call:
+		e.result = int64(e.pc + 1) // the link value
+	case op == isa.Store:
+		e.addr = isa.EffAddr(v1, e.inst.Imm, m.prog.MemWords)
+		e.addrReady = true
+		e.storeData = v2
+	default:
+		e.result = isa.EvalALU(op, v1, v2, e.inst.Imm)
+	}
+}
+
+// issueLoad applies the memory ordering rules and, when the load can
+// proceed, computes its value from the store buffer or architectural
+// memory. stores holds all older in-flight stores in seq order.
+func (m *Machine) issueLoad(e *entry, stores []*entry) (issued, forwarded bool) {
+	v1 := m.physVal[e.src1Phys]
+	addr := isa.EffAddr(v1, e.inst.Imm, m.prog.MemWords)
+
+	// Perfect-disambiguation approximation: older ancestor stores must
+	// have computed their addresses before a load may issue; the youngest
+	// matching completed store forwards.
+	var match *entry
+	for _, s := range stores {
+		if !s.tag.IsAncestorOrSelf(e.tag) {
+			continue // unrelated path: no ordering constraint
+		}
+		if !s.addrReady {
+			return false, false
+		}
+		if s.addr == addr {
+			match = s // stores scanned oldest-first: keep the youngest
+		}
+	}
+	if match != nil {
+		if match.state != stateDone {
+			return false, false // data not yet available to forward
+		}
+		e.result = match.storeData
+		forwarded = true
+		m.Stats.StoreForwards++
+	} else {
+		e.result = m.mem[addr]
+	}
+	e.addr = addr
+	e.addrReady = true
+	m.Stats.LoadsExecuted++
+	return true, forwarded
+}
+
+// schedule queues e's writeback lat cycles from now.
+func (m *Machine) schedule(e *entry, lat int) {
+	if lat >= len(m.ring) {
+		panic(fmt.Sprintf("pipeline: latency %d exceeds completion ring size %d", lat, len(m.ring)))
+	}
+	slot := (m.cycle + uint64(lat)) % uint64(len(m.ring))
+	m.ring[slot] = append(m.ring[slot], e)
+}
+
+// writeback completes instructions whose latency expires this cycle:
+// results are published to the physical register file (waking dependents)
+// and branches resolve on the branch resolution bus.
+func (m *Machine) writeback() {
+	slot := m.cycle % uint64(len(m.ring))
+	completing := m.ring[slot]
+	m.ring[slot] = nil
+	buses := m.cfg.ResolutionBuses
+	for _, e := range completing {
+		if e.killed {
+			continue
+		}
+		if (e.isBranch || e.isIndirect) && m.cfg.ResolutionBuses > 0 && buses == 0 {
+			// All resolution buses are occupied this cycle; the branch
+			// retries next cycle (Sec. 3.2.3's bus-contention case).
+			next := (m.cycle + 1) % uint64(len(m.ring))
+			m.ring[next] = append(m.ring[next], e)
+			continue
+		}
+		e.state = stateDone
+		if m.tracer != nil {
+			m.emit(TraceWriteback, e.seq, e.pc, e.tag, "")
+		}
+		if e.hasDest {
+			m.physVal[e.dstPhys] = e.result
+			m.physReady[e.dstPhys] = true
+		}
+		if e.isBranch {
+			m.resolve(e)
+			buses--
+		}
+		if e.isIndirect {
+			m.resolveIndirect(e)
+			buses--
+		}
+	}
+}
+
+// resolve handles a conditional branch's resolution (Sec. 3.2.3): for a
+// divergent branch the wrong successor subtree is killed; for a coherent
+// branch a misprediction triggers conventional checkpoint recovery.
+func (m *Machine) resolve(e *entry) {
+	e.resolved = true
+	if m.tracer != nil {
+		note := "correct"
+		if !e.diverged && e.outcome != e.predTaken {
+			note = "mispredicted"
+		} else if e.diverged {
+			note = fmt.Sprintf("divergence resolved (taken=%v)", e.outcome)
+		}
+		if m.tracer != nil {
+			m.emit(TraceResolve, e.seq, e.pc, e.tag, note)
+		}
+	}
+	e.path.pendingBranches--
+	if e.diverged {
+		m.divergences--
+		m.killWrongSubtree(e.histPos, e.outcome)
+		m.releaseCkpt(e)
+	} else if e.outcome == e.predTaken {
+		m.releaseCkpt(e)
+	} else {
+		m.recoverMispredict(e)
+	}
+	m.maybeReclaimZombie(e.path)
+}
+
+func (m *Machine) releaseCkpt(e *entry) {
+	if e.hasCkpt {
+		m.ckpts.Release(e.ckptID)
+		e.hasCkpt = false
+	}
+}
+
+// killWrongSubtree kills every instruction and path on the wrong side of a
+// resolved divergence: exactly the entries whose CTX tag has the branch's
+// history position valid with the opposite direction.
+func (m *Machine) killWrongSubtree(pos int, outcome bool) {
+	m.Stats.WrongSubtreeKills++
+	m.killMatching(0, func(t ctxtag.Tag) bool { return t.OnWrongPath(pos, outcome) }, nil)
+}
+
+// recoverMispredict is conventional monopath recovery: kill all younger
+// instructions on the branch's path and its descendants, restore the
+// checkpointed register map and global history, and redirect fetch.
+func (m *Machine) recoverMispredict(e *entry) {
+	m.Stats.MonopathRecoveries++
+	if m.tracer != nil {
+		m.emit(TraceRecover, e.seq, e.pc, e.tag, "checkpoint restore + fetch redirect")
+	}
+	p := e.path
+	// Revive the path before killing its younger instructions: the kill
+	// sweep may squash a younger divergent branch on p, and the zombie
+	// reclaimer must not free p while this recovery still needs its map.
+	p.fetching = true
+	p.halted = false
+	p.divergedParent = false
+
+	bt := e.tag
+	m.killMatching(e.seq, func(t ctxtag.Tag) bool { return bt.IsAncestorOrSelf(t) }, p)
+
+	ghr := m.ckpts.Restore(e.ckptID, p.regmap)
+	if m.hasCallRet {
+		p.ras.CopyFrom(m.ckptRAS[e.ckptID])
+	}
+	m.ckpts.Release(e.ckptID)
+	e.hasCkpt = false
+
+	p.ghr = bpred.PushHistory(ghr, e.outcome)
+	if e.outcome {
+		p.fetchPC = int(e.inst.Target)
+	} else {
+		p.fetchPC = e.pc + 1
+	}
+	p.onTrace = e.onTrace
+	p.traceIdx = e.traceIdx + 1
+	// MRC comparator: service the recovery from the cache when possible,
+	// hiding the front-end refill. The injected instructions are on the
+	// corrected path, so the trace cursor handling above stays valid.
+	m.injectMRC(p)
+}
+
+// killMatching squashes window entries and front-end instructions with
+// seq > minSeq whose tag satisfies pred, and releases matching paths
+// (except protect). This is the hardware's parallel tag-match kill,
+// expressed sequentially.
+func (m *Machine) killMatching(minSeq uint64, pred func(ctxtag.Tag) bool, protect *path) {
+	kept := m.window[:0]
+	for _, e := range m.window {
+		if e.seq > minSeq && pred(e.tag) {
+			m.killEntry(e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Clear the tail so killed entries do not linger in the backing array.
+	for i := len(kept); i < len(m.window); i++ {
+		m.window[i] = nil
+	}
+	m.window = kept
+
+	for i, latch := range m.frontEnd {
+		keptF := latch[:0]
+		for _, f := range latch {
+			if f.seq > minSeq && pred(f.tag) {
+				m.killFinst(f)
+			} else {
+				keptF = append(keptF, f)
+			}
+		}
+		for j := len(keptF); j < len(latch); j++ {
+			latch[j] = nil
+		}
+		if len(keptF) == 0 {
+			m.frontEnd[i] = nil
+		} else {
+			m.frontEnd[i] = keptF
+		}
+	}
+
+	for _, p := range m.paths {
+		if p != nil && p != protect && pred(p.tag) {
+			m.releasePath(p)
+		}
+	}
+}
+
+// killEntry squashes a window entry, returning its resources.
+func (m *Machine) killEntry(e *entry) {
+	e.killed = true
+	m.Stats.Killed++
+	if m.tracer != nil {
+		m.emit(TraceKill, e.seq, e.pc, e.tag, "")
+	}
+	if e.hasDest {
+		m.freeList.Free(e.dstPhys)
+	}
+	m.releaseCkpt(e)
+	if (e.isBranch || e.isIndirect) && !e.resolved {
+		e.path.pendingBranches--
+		defer m.maybeReclaimZombie(e.path)
+	}
+	if e.diverged {
+		if !e.resolved {
+			m.divergences--
+		}
+		m.ctxAlloc.Free(e.histPos)
+	}
+}
+
+// killFinst squashes a front-end instruction.
+func (m *Machine) killFinst(f *finst) {
+	m.Stats.Killed++
+	if m.tracer != nil {
+		m.emit(TraceKill, f.seq, f.pc, f.tag, "")
+	}
+	if f.isBranch || f.isIndirect {
+		f.path.pendingBranches--
+		defer m.maybeReclaimZombie(f.path)
+	}
+	if f.diverged {
+		m.divergences--
+		m.ctxAlloc.Free(f.histPos)
+	}
+}
+
+// broadcastClear is the branch commit bus (Sec. 3.2.2/3.2.3): when a
+// divergent branch commits, its history position is invalidated in every
+// in-flight CTX tag so the position can be reused.
+func (m *Machine) broadcastClear(pos int) {
+	for _, e := range m.window {
+		e.tag = e.tag.ClearPosition(pos)
+	}
+	for _, latch := range m.frontEnd {
+		for _, f := range latch {
+			f.tag = f.tag.ClearPosition(pos)
+		}
+	}
+	for _, p := range m.paths {
+		if p != nil {
+			p.tag = p.tag.ClearPosition(pos)
+		}
+	}
+}
+
+// commit retires up to CommitWidth completed instructions from the window
+// head in program order (Sec. 3.1's in-order back end).
+func (m *Machine) commit() {
+	committed := 0
+	for budget := m.cfg.CommitWidth; budget > 0 && len(m.window) > 0; budget-- {
+		e := m.window[0]
+		if e.state != stateDone {
+			break
+		}
+		m.window[0] = nil
+		m.window = m.window[1:]
+		m.commitEntry(e)
+		committed++
+		if m.halted {
+			return
+		}
+	}
+	m.Stats.CommitHist.Add(committed)
+	if committed == 0 {
+		// Cycle accounting: why did nothing retire this cycle?
+		if len(m.window) == 0 {
+			m.Stats.StallEmptyWindow++
+		} else {
+			m.Stats.StallExecution++
+		}
+	}
+}
+
+func (m *Machine) commitEntry(e *entry) {
+	m.Stats.Committed++
+	if m.tracer != nil {
+		m.emit(TraceCommit, e.seq, e.pc, e.tag, "")
+	}
+	if e.isStore {
+		m.mem[e.addr] = e.storeData
+		if m.dcache != nil {
+			m.Stats.DCacheAccesses++
+			if !m.dcache.Access(e.addr) {
+				m.Stats.DCacheMisses++
+			}
+		}
+	}
+	if e.hasDest {
+		m.retireMap.Set(e.inst.Dst, e.dstPhys)
+		m.freeList.Free(e.oldPhys)
+	}
+	if e.isBranch {
+		m.commitBranch(e)
+	}
+	if e.isIndirect {
+		m.commitIndirect(e)
+	}
+	if e.inst.Op == isa.Halt {
+		m.halted = true
+	}
+	if m.cfg.MaxInsts > 0 && m.Stats.Committed >= m.cfg.MaxInsts {
+		m.halted = true
+	}
+}
+
+func (m *Machine) commitBranch(e *entry) {
+	if !e.resolved {
+		panic(fmt.Sprintf("pipeline: committing unresolved branch at pc %d", e.pc))
+	}
+	// Only architecturally-correct branches reach commit, so this is the
+	// pollution-free training point for the predictor and the estimator.
+	if !m.oracle {
+		m.pred.Update(e.pc, e.ghrAtPredict, e.outcome)
+	}
+	m.archGHR = bpred.PushHistory(m.archGHR, e.outcome)
+	correct := e.predTaken == e.outcome
+	m.conf.Update(e.pc, e.ghrAtPredict, e.predTaken, correct)
+
+	m.Stats.CondBranches++
+	if e.outcome {
+		m.Stats.TakenBranches++
+	}
+	if !correct {
+		m.Stats.Mispredicts++
+	}
+	if e.lowConf {
+		m.Stats.LowConf++
+		if !correct {
+			m.Stats.LowConfMispred++
+		}
+	} else if !correct {
+		m.Stats.HighConfMispred++
+	}
+
+	// Trace invariant: a committed branch that tracked the architectural
+	// stream must agree with the reference execution.
+	if e.onTrace && e.traceIdx < len(m.trace) {
+		if r := m.trace[e.traceIdx]; !r.Indirect && r.Taken != e.outcome {
+			panic(fmt.Sprintf("pipeline: committed branch at pc %d disagrees with reference trace", e.pc))
+		}
+	}
+
+	if e.diverged {
+		// Branch commit bus: invalidate and reclaim the history position.
+		m.ctxAlloc.Free(e.histPos)
+		m.broadcastClear(e.histPos)
+	}
+}
+
+// resolveIndirect handles an indirect jump's resolution: a correct BTB
+// prediction needs no action; a wrong or missing prediction triggers the
+// same checkpoint recovery a mispredicted branch uses, redirected to the
+// computed target.
+func (m *Machine) resolveIndirect(e *entry) {
+	e.resolved = true
+	if m.tracer != nil {
+		note := "indirect target correct"
+		if !e.predTargetOK || e.predTarget != e.actualTarget {
+			note = fmt.Sprintf("indirect target mispredicted -> %d", e.actualTarget)
+		}
+		if m.tracer != nil {
+			m.emit(TraceResolve, e.seq, e.pc, e.tag, note)
+		}
+	}
+	e.path.pendingBranches--
+	if e.predTargetOK && e.predTarget == e.actualTarget {
+		m.releaseCkpt(e)
+	} else {
+		m.recoverIndirect(e)
+	}
+	m.maybeReclaimZombie(e.path)
+}
+
+// recoverIndirect redirects the path to the computed indirect target and
+// squashes everything fetched down the predicted (wrong) target.
+func (m *Machine) recoverIndirect(e *entry) {
+	m.Stats.IndirectRecoveries++
+	p := e.path
+	p.fetching = true
+	p.halted = false
+	p.divergedParent = false
+
+	bt := e.tag
+	m.killMatching(e.seq, func(t ctxtag.Tag) bool { return bt.IsAncestorOrSelf(t) }, p)
+
+	ghr := m.ckpts.Restore(e.ckptID, p.regmap)
+	if m.hasCallRet {
+		p.ras.CopyFrom(m.ckptRAS[e.ckptID])
+	}
+	m.ckpts.Release(e.ckptID)
+	e.hasCkpt = false
+
+	p.ghr = ghr // indirect jumps do not enter the direction history
+	p.fetchPC = e.actualTarget
+	p.onTrace = e.onTrace
+	p.traceIdx = e.traceIdx + 1
+}
+
+// commitIndirect trains the BTB with the architecturally correct target
+// and accounts statistics.
+func (m *Machine) commitIndirect(e *entry) {
+	if !e.resolved {
+		panic(fmt.Sprintf("pipeline: committing unresolved indirect jump at pc %d", e.pc))
+	}
+	if !e.isRet {
+		m.btb.Update(e.pc, e.actualTarget)
+	}
+	m.Stats.IndirectJumps++
+	if !e.predTargetOK || e.predTarget != e.actualTarget {
+		m.Stats.IndirectMispredicts++
+	}
+	if e.onTrace && e.traceIdx < len(m.trace) {
+		if r := m.trace[e.traceIdx]; r.Indirect && int(r.Target) != e.actualTarget {
+			panic(fmt.Sprintf("pipeline: committed indirect jump at pc %d disagrees with reference trace", e.pc))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// advanceFrontEnd moves instruction groups one latch forward where the next
+// latch is empty. The last latch feeds rename; a stalled rename backs the
+// whole front end up, which in turn stalls fetch.
+func (m *Machine) advanceFrontEnd() {
+	for i := len(m.frontEnd) - 2; i >= 0; i-- {
+		if len(m.frontEnd[i+1]) == 0 && len(m.frontEnd[i]) > 0 {
+			m.frontEnd[i+1] = m.frontEnd[i]
+			m.frontEnd[i] = nil
+		}
+	}
+}
+
+// rename consumes instructions from the last front-end latch in order,
+// renaming registers and dispatching into the instruction window. It stops
+// at the first instruction that cannot proceed (window full, free list or
+// checkpoint pool empty) — an in-order stall.
+func (m *Machine) rename() {
+	latch := m.frontEnd[len(m.frontEnd)-1]
+	consumed := 0
+	for consumed < len(latch) && consumed < m.cfg.RenameWidth {
+		if !m.renameOne(latch[consumed]) {
+			break
+		}
+		consumed++
+	}
+	if consumed == len(latch) {
+		m.frontEnd[len(m.frontEnd)-1] = nil
+	} else if consumed > 0 {
+		m.frontEnd[len(m.frontEnd)-1] = latch[consumed:]
+	}
+}
+
+// renameOne renames and dispatches a single instruction. It returns false
+// on a structural stall, leaving the instruction in the latch.
+func (m *Machine) renameOne(f *finst) bool {
+	if len(m.window) >= m.cfg.WindowSize {
+		return false
+	}
+	p := f.path
+	op := f.inst.Op
+	hasDest := op.HasDest() && f.inst.Dst != 0
+	if hasDest && m.freeList.Available() == 0 {
+		return false
+	}
+	if (f.isBranch || f.isIndirect) && m.ckpts.Available() == 0 {
+		return false
+	}
+
+	e := &entry{
+		seq:  f.seq,
+		pc:   f.pc,
+		inst: f.inst,
+		path: p,
+		tag:  f.tag,
+
+		isLoad:  op == isa.Load,
+		isStore: op == isa.Store,
+
+		isBranch:     f.isBranch,
+		isIndirect:   f.isIndirect,
+		isRet:        f.isRet,
+		predTarget:   f.predTarget,
+		predTargetOK: f.predTargetOK,
+		predTaken:    f.predTaken,
+		lowConf:      f.lowConf,
+		diverged:     f.diverged,
+		histPos:      f.histPos,
+		ghrAtPredict: f.ghrAtPredict,
+		onTrace:      f.onTrace,
+		traceIdx:     f.traceIdx,
+	}
+	if op.ReadsSrc1() {
+		e.readsSrc1 = true
+		e.src1Phys = p.regmap.Get(f.inst.Src1)
+	}
+	if op.ReadsSrc2() {
+		e.readsSrc2 = true
+		e.src2Phys = p.regmap.Get(f.inst.Src2)
+	}
+	if f.isBranch || f.isIndirect {
+		// Checkpoint the register map and pre-prediction history for
+		// misprediction recovery (coherent branches) or, for divergent
+		// branches, as the second map copy the paper accounts for.
+		id, ok := m.ckpts.Take(p.regmap, f.ghrAtPredict)
+		if !ok {
+			return false
+		}
+		e.ckptID = id
+		e.hasCkpt = true
+		// The return-address stack is speculative per-path state like the
+		// register map and the history register: the snapshot captured at
+		// fetch (post-pop for returns) rides along with the checkpoint.
+		if m.hasCallRet {
+			m.ckptRAS[id] = f.rasSnap
+		}
+		if f.diverged {
+			f.childT.regmap = p.regmap.Clone()
+			f.childN.regmap = p.regmap.Clone()
+		}
+	}
+	if hasDest {
+		np, ok := m.freeList.Alloc()
+		if !ok {
+			// Cannot happen: availability checked above, and the branch
+			// path allocates no registers in between.
+			panic("pipeline: free list raced")
+		}
+		e.hasDest = true
+		e.dstPhys = np
+		e.oldPhys = p.regmap.Set(f.inst.Dst, np)
+		m.physReady[np] = false
+	}
+	if op == isa.Nop || op == isa.Halt {
+		e.state = stateDone // no functional unit needed
+	}
+	m.window = append(m.window, e)
+	m.Stats.Renamed++
+	if m.tracer != nil {
+		m.emit(TraceRename, e.seq, e.pc, e.tag, "")
+	}
+	return true
+}

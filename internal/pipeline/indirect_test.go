@@ -1,0 +1,245 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// switchProgram builds a program dominated by one switch statement.
+func switchProgram(iters, fanout int) *isa.Program {
+	p, err := workload.Generate(workload.Spec{
+		Name: "switchy", Seed: 17,
+		TargetInsts: uint64(iters),
+		Branches: []workload.BranchSpec{
+			{Kind: workload.KindSwitch, Fanout: fanout},
+			{Kind: workload.KindBernoulli, Bias: 0.6},
+		},
+		BlockLen: 6, Chains: 4,
+		LoadFrac: 0.15, StoreFrac: 0.08, PredDepth: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestIndirectJumpArchEquivalence(t *testing.T) {
+	prog := switchProgram(30_000, 6)
+	for _, mode := range []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"monopath", func() Config {
+			c := DefaultConfig()
+			c.Mode = Monopath
+			c.Confidence.Kind = ConfAlwaysHigh
+			return c
+		}},
+		{"polypath", DefaultConfig},
+		{"eager", func() Config {
+			c := DefaultConfig()
+			c.Confidence.Kind = ConfAlwaysLow
+			return c
+		}},
+		{"oracle", func() Config {
+			c := DefaultConfig()
+			c.Mode = Monopath
+			c.Predictor.Kind = PredOracle
+			c.Confidence.Kind = ConfAlwaysHigh
+			return c
+		}},
+	} {
+		m, err := New(prog, mode.cfg())
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if m.Stats.IndirectJumps == 0 {
+			t.Fatalf("%s: no indirect jumps committed", mode.name)
+		}
+	}
+}
+
+func TestIndirectTargetMispredictRateMatchesFanout(t *testing.T) {
+	// A uniform random switch over K cases with last-target BTB prediction
+	// mispredicts with probability ~ (K-1)/K.
+	prog := switchProgram(40_000, 8)
+	cfg := DefaultConfig()
+	cfg.Mode = Monopath
+	cfg.Confidence.Kind = ConfAlwaysHigh
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(m.Stats.IndirectMispredicts) / float64(m.Stats.IndirectJumps)
+	if rate < 0.75 || rate > 0.95 {
+		t.Errorf("indirect mispredict rate %.3f, want ~7/8 for fanout 8", rate)
+	}
+	if m.Stats.IndirectRecoveries == 0 {
+		t.Error("expected indirect recoveries")
+	}
+}
+
+func TestOraclePredictsIndirectTargets(t *testing.T) {
+	// The oracle configuration predicts indirect targets perfectly from
+	// the reference trace: no indirect recoveries on the correct path...
+	// wrong paths may still recover, but committed mispredicts must be 0.
+	prog := switchProgram(30_000, 6)
+	cfg := DefaultConfig()
+	cfg.Mode = Monopath
+	cfg.Predictor.Kind = PredOracle
+	cfg.Confidence.Kind = ConfAlwaysHigh
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.IndirectMispredicts != 0 {
+		t.Errorf("oracle committed %d indirect mispredicts", m.Stats.IndirectMispredicts)
+	}
+}
+
+func TestIndirectWithSEEStillGainsOnBranches(t *testing.T) {
+	// Indirect jumps don't diverge, but the conditional branch in the
+	// workload still benefits from SEE.
+	prog := switchProgram(40_000, 4)
+	run := func(cfg Config) float64 {
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.IPC()
+	}
+	mono := DefaultConfig()
+	mono.Mode = Monopath
+	mono.Confidence.Kind = ConfAlwaysHigh
+	see := DefaultConfig()
+	see.Confidence.Kind = ConfOracle // cleanest signal
+	if gain := run(see)/run(mono) - 1; gain <= 0 {
+		t.Errorf("SEE with oracle CE should still gain on switchy code, got %+.2f%%", 100*gain)
+	}
+}
+
+// callProgram builds a workload whose control flow is dominated by
+// function calls and returns.
+func callProgram(iters int) *isa.Program {
+	p, err := workload.Generate(workload.Spec{
+		Name: "cally", Seed: 23,
+		TargetInsts: uint64(iters),
+		Branches: []workload.BranchSpec{
+			{Kind: workload.KindCall, CallDepth: 1},
+			{Kind: workload.KindCall, CallDepth: 2},
+			{Kind: workload.KindBernoulli, Bias: 0.7},
+		},
+		BlockLen: 6, Chains: 4,
+		LoadFrac: 0.15, StoreFrac: 0.08, PredDepth: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestCallReturnArchEquivalence(t *testing.T) {
+	prog := callProgram(30_000)
+	for _, kind := range []ConfidenceKind{ConfAlwaysHigh, ConfJRS, ConfAlwaysLow} {
+		cfg := DefaultConfig()
+		cfg.Confidence.Kind = kind
+		if kind == ConfAlwaysHigh {
+			cfg.Mode = Monopath
+		}
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if m.Stats.IndirectJumps == 0 {
+			t.Fatalf("kind %d: no returns committed", kind)
+		}
+	}
+}
+
+func TestRASPredictsReturnsNearPerfectly(t *testing.T) {
+	// Returns through the RAS should essentially never mispredict on the
+	// correct path — in contrast to the ~(K-1)/K rate of random switches.
+	prog := callProgram(40_000)
+	cfg := DefaultConfig()
+	cfg.Mode = Monopath
+	cfg.Confidence.Kind = ConfAlwaysHigh
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(m.Stats.IndirectMispredicts) / float64(m.Stats.IndirectJumps)
+	if rate > 0.02 {
+		t.Errorf("return target mispredict rate %.3f, want ~0 with a RAS", rate)
+	}
+}
+
+func TestRASSurvivesBranchRecovery(t *testing.T) {
+	// Calls inside mispredicted regions push garbage frames onto the
+	// speculative RAS; checkpoint recovery must restore it, or later
+	// returns on the correct path would mispredict. The near-zero
+	// mispredict rate under heavy branch misprediction is the evidence.
+	p, err := workload.Generate(workload.Spec{
+		Name: "callbranch", Seed: 29,
+		TargetInsts: 40_000,
+		Branches: []workload.BranchSpec{
+			{Kind: workload.KindBernoulli, Bias: 0.5}, // mispredicts a lot
+			{Kind: workload.KindCall, CallDepth: 2},
+		},
+		BlockLen: 6, Chains: 4,
+		LoadFrac: 0.15, StoreFrac: 0.08, PredDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig() // PolyPath: divergences clone the RAS too
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyArchState(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(m.Stats.IndirectMispredicts) / float64(max64(m.Stats.IndirectJumps, 1))
+	if rate > 0.02 {
+		t.Errorf("return mispredict rate %.3f under branch recovery, want ~0", rate)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,446 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/confidence"
+	"repro/internal/ctxtag"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// entryState tracks a window entry through its lifetime.
+type entryState uint8
+
+const (
+	stateWaiting entryState = iota
+	stateExecuting
+	stateDone
+)
+
+// entry is one instruction window (reorder buffer) slot. Each entry also
+// carries the small CTX state machine of Fig. 6 via its tag, which the
+// resolution and commit buses operate on.
+type entry struct {
+	seq  uint64
+	pc   int
+	inst isa.Inst
+	path *path
+	tag  ctxtag.Tag
+
+	state     entryState
+	killed    bool
+	hasDest   bool
+	dstPhys   rename.PhysReg
+	oldPhys   rename.PhysReg
+	src1Phys  rename.PhysReg
+	src2Phys  rename.PhysReg
+	readsSrc1 bool
+	readsSrc2 bool
+	result    int64
+
+	// Memory state.
+	isLoad    bool
+	isStore   bool
+	addrReady bool
+	addr      int
+	storeData int64
+	forwarded bool
+
+	// Branch state.
+	isBranch     bool
+	isIndirect   bool
+	isRet        bool
+	predTarget   int
+	predTargetOK bool
+	actualTarget int
+	predTaken    bool
+	lowConf      bool
+	diverged     bool
+	histPos      int
+	ghrAtPredict uint64
+	ckptID       int
+	hasCkpt      bool
+	resolved     bool
+	outcome      bool
+	onTrace      bool
+	traceIdx     int
+}
+
+// path is one CTX-table entry (Fig. 7): a live execution path with its own
+// fetch PC, register map, speculative global history and trace cursor.
+type path struct {
+	id       int
+	seqNo    uint64 // creation order; fetch priority
+	tag      ctxtag.Tag
+	live     bool
+	fetching bool
+	halted   bool
+	// divergedParent marks a path that stopped fetching because its last
+	// fetched branch diverged; it stays live (zombie) while older branches
+	// on it may still need recovery, then its slot is reclaimed.
+	divergedParent bool
+	// pendingBranches counts fetched-but-unresolved conditional branches
+	// on this path.
+	pendingBranches int
+
+	fetchPC int
+	ghr     uint64
+	ras     *bpred.RAS
+	regmap  *rename.Map
+	// fetchStallUntil blocks fetch on this path until the given cycle
+	// (instruction cache miss refill).
+	fetchStallUntil uint64
+
+	onTrace  bool
+	traceIdx int
+}
+
+// finst is an instruction in flight in the in-order front end.
+type finst struct {
+	seq  uint64
+	pc   int
+	inst isa.Inst
+	path *path
+	tag  ctxtag.Tag
+
+	// Branch metadata captured at fetch.
+	isBranch     bool
+	isIndirect   bool
+	isRet        bool
+	predTarget   int
+	predTargetOK bool
+	predTaken    bool
+	// rasSnap captures the path's return-address stack at fetch (after a
+	// return's pop); it becomes the checkpoint's RAS snapshot at rename.
+	rasSnap      *bpred.RAS
+	lowConf      bool
+	diverged     bool
+	histPos      int
+	ghrAtPredict uint64
+	onTrace      bool
+	traceIdx     int
+	childT       *path
+	childN       *path
+}
+
+// Machine is the simulated processor bound to one program.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+
+	// Architectural state (committed).
+	mem       []int64
+	retireMap *rename.Map
+
+	// Rename state.
+	physVal   []int64
+	physReady []bool
+	freeList  *rename.FreeList
+	ckpts     *rename.Checkpoints
+	// ckptRAS holds the return-address-stack snapshot for each checkpoint
+	// slot (parallel to ckpts; the rename package stays RAS-agnostic).
+	ckptRAS []*bpred.RAS
+
+	// Prediction state.
+	pred     bpred.Predictor
+	btb      *bpred.BTB
+	oracle   bool // PredOracle: predict from the trace
+	conf     confidence.Estimator
+	trace    []isa.BranchRecord
+	interp   *isa.Interp // final state of the functional reference run
+	refCount uint64      // dynamic instructions the reference run executed
+
+	// Context management.
+	ctxAlloc    *ctxtag.Allocator
+	paths       []*path // slot table, len MaxPaths
+	pathSeq     uint64
+	divergences int // unresolved divergent branches in flight
+
+	// Pipeline structures.
+	frontEnd [][]*finst // FrontEndStages latches, each up to FetchWidth
+	window   []*entry   // seq-ordered, alive entries only
+	ring     [][]*entry // completion events indexed by cycle % len(ring)
+
+	// Optional memory hierarchy (nil when the paper's always-hit
+	// assumption is in effect).
+	dcache *cache.Cache
+	icache *cache.Cache
+	// Optional misprediction recovery cache comparator.
+	mrc *mrcCache
+
+	cycle   uint64
+	seq     uint64
+	halted  bool
+	archGHR uint64 // commit-time global history (non-speculative ablation)
+	tracer  Tracer
+	// hasCallRet is true when the program contains Call/Ret instructions;
+	// when false, the per-branch RAS snapshot machinery is skipped
+	// entirely (a measurable win on branch-heavy workloads).
+	hasCallRet bool
+
+	Stats stats.Sim
+}
+
+// New builds a machine for prog. The functional reference run (which also
+// produces the oracle branch trace) executes eagerly so that construction
+// surfaces program errors early.
+func New(prog *isa.Program, cfg Config) (*Machine, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// The reference (functional) run bounds the simulation. Without an
+	// explicit MaxInsts we cap it generously; longer programs must set
+	// MaxInsts explicitly.
+	const defaultRefCap = 1 << 26
+	maxInsts := cfg.MaxInsts
+	if maxInsts == 0 {
+		maxInsts = defaultRefCap
+	}
+	trace, ref, err := isa.Trace(prog, maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: reference run: %w", err)
+	}
+	if !ref.Halted && cfg.MaxInsts == 0 {
+		return nil, fmt.Errorf("pipeline: program does not halt")
+	}
+
+	m := &Machine{
+		cfg:       cfg,
+		prog:      prog,
+		mem:       make([]int64, prog.MemWords),
+		retireMap: rename.NewIdentityMap(),
+		physVal:   make([]int64, cfg.PhysRegs),
+		physReady: make([]bool, cfg.PhysRegs),
+		freeList:  rename.NewFreeList(cfg.PhysRegs, isa.NumRegs),
+		ckpts:     rename.NewCheckpoints(cfg.Checkpoints),
+		trace:     trace,
+		interp:    ref,
+		refCount:  ref.InstCount,
+		ctxAlloc:  ctxtag.NewAllocator(cfg.CtxHistoryWidth),
+		paths:     make([]*path, cfg.MaxPaths),
+		frontEnd:  make([][]*finst, cfg.FrontEndStages),
+	}
+	// The completion ring must cover the longest possible operation
+	// latency (integer multiply, plus the D-cache miss penalty when the
+	// cache model is enabled).
+	maxLat := 8
+	if cfg.EnableDCache {
+		maxLat += cfg.DCacheMissLatency + 2
+	}
+	m.ring = make([][]*entry, maxLat+2)
+	copy(m.mem, prog.DataInit)
+	// Logical registers start architecturally zero and ready.
+	for i := 0; i < isa.NumRegs; i++ {
+		m.physReady[i] = true
+	}
+
+	switch cfg.Predictor.Kind {
+	case PredGshare:
+		m.pred = bpred.NewGshare(cfg.Predictor.HistBits)
+	case PredBimodal:
+		m.pred = bpred.NewBimodal(cfg.Predictor.HistBits)
+	case PredStatic:
+		m.pred = &bpred.Static{TargetOf: func(pc int) int { return int(prog.Code[pc].Target) }}
+	case PredLocal:
+		m.pred = bpred.NewLocal(cfg.Predictor.HistBits, cfg.Predictor.HistBits)
+	case PredCombining:
+		// Equal-area-ish split: each component one bit smaller than the
+		// requested budget, plus a chooser.
+		bits := cfg.Predictor.HistBits - 1
+		if bits < 2 {
+			bits = 2
+		}
+		m.pred = bpred.NewCombining(bpred.NewBimodal(bits), bpred.NewGshare(bits), bits)
+	case PredOracle:
+		m.pred = bpred.NewGshare(2) // placeholder; predictions come from the trace
+		m.oracle = true
+	default:
+		return nil, fmt.Errorf("pipeline: unknown predictor kind %d", cfg.Predictor.Kind)
+	}
+	m.conf, err = buildConfidence(cfg.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	m.btb = bpred.NewBTB(cfg.BTBBits)
+	m.ckptRAS = make([]*bpred.RAS, cfg.Checkpoints)
+	for _, in := range prog.Code {
+		if in.Op == isa.Call || in.Op == isa.Ret {
+			m.hasCallRet = true
+			break
+		}
+	}
+
+	if cfg.EnableMRC {
+		m.mrc = newMRC(cfg.MRCBits)
+	}
+	if cfg.EnableDCache {
+		m.dcache = cache.New(cfg.DCache)
+	}
+	if cfg.EnableICache {
+		m.icache = cache.New(cfg.ICache)
+	}
+
+	m.Stats.PathHist = stats.NewHistogram(cfg.MaxPaths)
+	m.Stats.WindowHist = stats.NewHistogram(cfg.WindowSize)
+	m.Stats.CommitHist = stats.NewHistogram(cfg.CommitWidth)
+
+	// Root path: the architectural execution stream.
+	root := m.newPath(ctxtag.Root(), 0, 0, true, 0)
+	root.regmap = rename.NewIdentityMap()
+	root.ras = bpred.NewRAS(cfg.RASDepth)
+	return m, nil
+}
+
+// newPath allocates a CTX-table slot. Callers must have verified a slot is
+// free (freePathSlots > 0).
+func (m *Machine) newPath(tag ctxtag.Tag, fetchPC int, ghr uint64, onTrace bool, traceIdx int) *path {
+	for i, p := range m.paths {
+		if p == nil {
+			m.pathSeq++
+			np := &path{
+				id: i, seqNo: m.pathSeq, tag: tag,
+				live: true, fetching: true,
+				fetchPC: fetchPC, ghr: ghr,
+				onTrace: onTrace, traceIdx: traceIdx,
+			}
+			m.paths[i] = np
+			return np
+		}
+	}
+	panic("pipeline: newPath with no free slot")
+}
+
+func (m *Machine) freePathSlots() int {
+	n := 0
+	for _, p := range m.paths {
+		if p == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Machine) livePathCount() int {
+	n := 0
+	for _, p := range m.paths {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// releasePath frees a CTX-table slot.
+func (m *Machine) releasePath(p *path) {
+	p.live = false
+	p.fetching = false
+	p.regmap = nil
+	m.paths[p.id] = nil
+}
+
+// maybeReclaimZombie frees a diverged parent whose obligations are done:
+// it will never fetch again and no unresolved branch on it can demand a
+// recovery restart.
+func (m *Machine) maybeReclaimZombie(p *path) {
+	if p.live && !p.fetching && p.divergedParent && p.pendingBranches == 0 {
+		m.releasePath(p)
+	}
+}
+
+// Run simulates until the program's Halt commits, MaxInsts instructions
+// commit, or a liveness failure is detected.
+func (m *Machine) Run() error {
+	const stallLimit = 100_000 // cycles without a commit => liveness bug
+	lastCommit := m.Stats.Committed
+	stall := uint64(0)
+	for !m.halted {
+		m.step()
+		if m.Stats.Committed == lastCommit {
+			stall++
+			if stall > stallLimit {
+				return fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (deadlock)", stallLimit, m.cycle)
+			}
+		} else {
+			stall = 0
+			lastCommit = m.Stats.Committed
+		}
+	}
+	return nil
+}
+
+// step advances one cycle. Stage order (commit, writeback, issue, rename,
+// front-end advance, fetch) lets results written back in cycle t feed
+// issues in cycle t and lets a resolution in cycle t redirect fetch in
+// cycle t, matching the latch-level timing described in Sec. 3/4.
+func (m *Machine) step() {
+	m.cycle++
+	m.Stats.Cycles++
+	m.commit()
+	if m.halted {
+		return
+	}
+	m.writeback()
+	m.issue()
+	m.rename()
+	m.advanceFrontEnd()
+	m.fetch()
+	m.sample()
+}
+
+func (m *Machine) sample() {
+	m.Stats.PathHist.Add(m.livePathCount())
+	m.Stats.WindowHist.Add(len(m.window))
+	m.Stats.FUCapacity[isa.ClassIntType0] += uint64(m.cfg.NumIntType0)
+	m.Stats.FUCapacity[isa.ClassIntType1] += uint64(m.cfg.NumIntType1)
+	m.Stats.FUCapacity[isa.ClassFPAdd] += uint64(m.cfg.NumFPAdd)
+	m.Stats.FUCapacity[isa.ClassFPMul] += uint64(m.cfg.NumFPMul)
+	m.Stats.FUCapacity[isa.ClassMem] += uint64(m.cfg.NumMemPorts)
+}
+
+// Cycle returns the current simulated cycle.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Halted reports whether the simulation has finished.
+func (m *Machine) Halted() bool { return m.halted }
+
+// FinalRegs reads the committed architectural register file through the
+// retirement map.
+func (m *Machine) FinalRegs() [isa.NumRegs]int64 {
+	var regs [isa.NumRegs]int64
+	for r := 0; r < isa.NumRegs; r++ {
+		regs[r] = m.physVal[m.retireMap.Get(isa.Reg(r))]
+	}
+	return regs
+}
+
+// Memory returns the committed architectural memory.
+func (m *Machine) Memory() []int64 { return m.mem }
+
+// VerifyArchState compares the committed architectural state against the
+// functional reference execution and returns a descriptive error on any
+// mismatch. This is the execution-driven correctness contract.
+func (m *Machine) VerifyArchState() error {
+	if m.Stats.Committed != m.refCount {
+		return fmt.Errorf("pipeline: committed %d instructions, reference executed %d", m.Stats.Committed, m.refCount)
+	}
+	regs := m.FinalRegs()
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != m.interp.Regs[r] {
+			return fmt.Errorf("pipeline: r%d = %d, reference %d", r, regs[r], m.interp.Regs[r])
+		}
+	}
+	for a := range m.mem {
+		if m.mem[a] != m.interp.Mem[a] {
+			return fmt.Errorf("pipeline: mem[%d] = %d, reference %d", a, m.mem[a], m.interp.Mem[a])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// TraceKind classifies pipeline trace events.
+type TraceKind uint8
+
+// Trace event kinds, in rough pipeline order.
+const (
+	TraceFetch TraceKind = iota
+	TraceRename
+	TraceIssue
+	TraceWriteback
+	TraceCommit
+	TraceKill
+	TraceDiverge
+	TraceResolve
+	TraceRecover
+)
+
+var traceKindNames = [...]string{
+	TraceFetch:     "fetch",
+	TraceRename:    "rename",
+	TraceIssue:     "issue",
+	TraceWriteback: "writeback",
+	TraceCommit:    "commit",
+	TraceKill:      "kill",
+	TraceDiverge:   "diverge",
+	TraceResolve:   "resolve",
+	TraceRecover:   "recover",
+}
+
+// String returns the event kind name.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return "event(?)"
+}
+
+// TraceEvent is one pipeline event, emitted when a Tracer is attached.
+type TraceEvent struct {
+	Cycle uint64
+	Kind  TraceKind
+	Seq   uint64 // instruction sequence number (0 for path-level events)
+	PC    int
+	Tag   string // CTX tag in T/N/X notation
+	Note  string // disassembly or event-specific detail
+}
+
+// Tracer receives pipeline events. Implementations must be fast; the
+// simulator calls them inline.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// SetTracer attaches a tracer (nil detaches). Tracing is off by default
+// and has no overhead beyond a nil check when disabled.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) emit(kind TraceKind, seq uint64, pc int, tag fmt.Stringer, note string) {
+	if m.tracer == nil {
+		return
+	}
+	ts := ""
+	if tag != nil {
+		ts = tag.String()
+	}
+	m.tracer.Event(TraceEvent{Cycle: m.cycle, Kind: kind, Seq: seq, PC: pc, Tag: ts, Note: note})
+}
+
+// PipeTrace collects events and renders per-instruction pipeline timelines
+// (fetch/rename/issue/writeback/commit cycles), in the style of textual
+// pipeline viewers. It caps collection to avoid unbounded memory.
+type PipeTrace struct {
+	maxInsts uint64
+	rows     map[uint64]*pipeRow
+	events   []TraceEvent
+	firstSeq uint64
+}
+
+type pipeRow struct {
+	seq                                     uint64
+	pc                                      int
+	tag                                     string
+	note                                    string
+	fetch, rename, issue, writeback, commit uint64
+	killed                                  uint64
+	hasKill                                 bool
+}
+
+// NewPipeTrace collects timelines for the first maxInsts fetched
+// instructions.
+func NewPipeTrace(maxInsts uint64) *PipeTrace {
+	return &PipeTrace{maxInsts: maxInsts, rows: make(map[uint64]*pipeRow)}
+}
+
+// Event implements Tracer.
+func (pt *PipeTrace) Event(e TraceEvent) {
+	if e.Seq == 0 {
+		pt.events = append(pt.events, e)
+		return
+	}
+	if pt.firstSeq == 0 {
+		pt.firstSeq = e.Seq
+	}
+	if e.Seq-pt.firstSeq >= pt.maxInsts {
+		return
+	}
+	r := pt.rows[e.Seq]
+	if r == nil {
+		r = &pipeRow{seq: e.Seq}
+		pt.rows[e.Seq] = r
+	}
+	r.pc, r.tag = e.PC, e.Tag
+	switch e.Kind {
+	case TraceFetch:
+		r.fetch = e.Cycle
+		r.note = e.Note
+	case TraceRename:
+		r.rename = e.Cycle
+	case TraceIssue:
+		r.issue = e.Cycle
+	case TraceWriteback:
+		r.writeback = e.Cycle
+	case TraceCommit:
+		r.commit = e.Cycle
+	case TraceKill:
+		r.killed = e.Cycle
+		r.hasKill = true
+	}
+}
+
+// Render writes the collected timelines, one instruction per line, with
+// the cycle of each stage and the outcome (commit or kill).
+func (pt *PipeTrace) Render(w io.Writer) error {
+	seqs := make([]uint64, 0, len(pt.rows))
+	for s := range pt.rows {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	if _, err := fmt.Fprintf(w, "%6s %6s %-8s %8s %8s %8s %8s %8s  %s\n",
+		"seq", "pc", "ctx", "fetch", "rename", "issue", "wback", "end", "instruction"); err != nil {
+		return err
+	}
+	cyc := func(c uint64) string {
+		if c == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", c)
+	}
+	for _, s := range seqs {
+		r := pt.rows[s]
+		end := "-"
+		if r.hasKill {
+			end = fmt.Sprintf("K%d", r.killed)
+		} else if r.commit != 0 {
+			end = fmt.Sprintf("C%d", r.commit)
+		}
+		if _, err := fmt.Fprintf(w, "%6d %6d %-8s %8s %8s %8s %8s %8s  %s\n",
+			r.seq, r.pc, r.tag, cyc(r.fetch), cyc(r.rename), cyc(r.issue), cyc(r.writeback), end, r.note); err != nil {
+			return err
+		}
+	}
+	for _, e := range pt.events {
+		if _, err := fmt.Fprintf(w, "@%d %s %s\n", e.Cycle, e.Kind, e.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns counts of collected rows and control events.
+func (pt *PipeTrace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipetrace: %d instructions, %d control events", len(pt.rows), len(pt.events))
+	return b.String()
+}
+
+// disasmNote renders a fetched instruction for trace notes.
+func disasmNote(in isa.Inst) string { return isa.Disasm(in) }

@@ -1,0 +1,179 @@
+// Package rename implements register renaming for the PolyPath pipeline:
+// logical-to-physical register map tables, the physical-register free list,
+// and branch checkpoints.
+//
+// The PolyPath twist (paper Sec. 3.2.5) is that a divergent branch uses its
+// two RegMap copies for the two successor paths instead of keeping one as a
+// misprediction backup — the same number of map copies a monopath machine
+// needs per branch, deployed differently.
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PhysReg names a physical register.
+type PhysReg uint16
+
+// Map is a register mapping table from logical to physical registers.
+type Map struct {
+	m [isa.NumRegs]PhysReg
+}
+
+// NewIdentityMap returns a map where logical register i maps to physical
+// register i (the conventional reset state: the first NumRegs physical
+// registers hold the architectural values).
+func NewIdentityMap() *Map {
+	var mp Map
+	for i := range mp.m {
+		mp.m[i] = PhysReg(i)
+	}
+	return &mp
+}
+
+// Get returns the physical register currently holding logical register r.
+func (mp *Map) Get(r isa.Reg) PhysReg { return mp.m[r] }
+
+// Set redirects logical register r to physical register p and returns the
+// previous mapping (the "old physical register" that the renamed
+// instruction carries to commit/rollback).
+func (mp *Map) Set(r isa.Reg, p PhysReg) (old PhysReg) {
+	old = mp.m[r]
+	mp.m[r] = p
+	return old
+}
+
+// Clone returns an independent copy — the checkpoint operation, and the way
+// a divergent branch gives each successor path its own map.
+func (mp *Map) Clone() *Map {
+	c := *mp
+	return &c
+}
+
+// CopyFrom overwrites mp with the contents of src (checkpoint restore).
+func (mp *Map) CopyFrom(src *Map) { mp.m = src.m }
+
+// FreeList manages the pool of unallocated physical registers.
+type FreeList struct {
+	free  []PhysReg
+	total int
+	inUse map[PhysReg]bool // allocation tracking for invariant checks
+}
+
+// NewFreeList creates a free list for a machine with total physical
+// registers, of which the first reserved (= isa.NumRegs) are pre-allocated
+// to the identity map and therefore not initially free.
+func NewFreeList(total, reserved int) *FreeList {
+	if total <= reserved {
+		panic(fmt.Sprintf("rename: %d physical registers cannot cover %d reserved", total, reserved))
+	}
+	fl := &FreeList{total: total, inUse: make(map[PhysReg]bool, total)}
+	for p := total - 1; p >= reserved; p-- {
+		fl.free = append(fl.free, PhysReg(p))
+	}
+	for p := 0; p < reserved; p++ {
+		fl.inUse[PhysReg(p)] = true
+	}
+	return fl
+}
+
+// Alloc takes a physical register off the free list. ok is false when the
+// pool is exhausted, in which case rename must stall this cycle.
+func (fl *FreeList) Alloc() (p PhysReg, ok bool) {
+	n := len(fl.free)
+	if n == 0 {
+		return 0, false
+	}
+	p = fl.free[n-1]
+	fl.free = fl.free[:n-1]
+	fl.inUse[p] = true
+	return p, true
+}
+
+// Free returns a physical register to the pool. Double frees panic: they
+// indicate a pipeline bookkeeping bug (e.g. freeing a register both at
+// path kill and at commit).
+func (fl *FreeList) Free(p PhysReg) {
+	if !fl.inUse[p] {
+		panic(fmt.Sprintf("rename: double free of physical register %d", p))
+	}
+	delete(fl.inUse, p)
+	fl.free = append(fl.free, p)
+}
+
+// Available returns the number of free physical registers.
+func (fl *FreeList) Available() int { return len(fl.free) }
+
+// Total returns the machine's physical register count.
+func (fl *FreeList) Total() int { return fl.total }
+
+// InUse returns the number of allocated physical registers.
+func (fl *FreeList) InUse() int { return fl.total - len(fl.free) }
+
+// Checkpoints is a bounded pool of register-map checkpoints. The number of
+// checkpoints limits the number of unresolved branches in flight, exactly
+// as in the paper's monopath description (Sec. 3.1).
+type Checkpoints struct {
+	slots []checkpointSlot
+	free  []int
+}
+
+type checkpointSlot struct {
+	mp   Map
+	ghr  uint64
+	used bool
+}
+
+// NewCheckpoints creates a pool with n slots.
+func NewCheckpoints(n int) *Checkpoints {
+	if n < 1 {
+		panic("rename: need at least one checkpoint")
+	}
+	c := &Checkpoints{slots: make([]checkpointSlot, n)}
+	for i := n - 1; i >= 0; i-- {
+		c.free = append(c.free, i)
+	}
+	return c
+}
+
+// Take captures a checkpoint of mp and the global history ghr, returning a
+// handle. ok is false when no slot is free (rename stalls on the branch).
+func (c *Checkpoints) Take(mp *Map, ghr uint64) (id int, ok bool) {
+	n := len(c.free)
+	if n == 0 {
+		return -1, false
+	}
+	id = c.free[n-1]
+	c.free = c.free[:n-1]
+	c.slots[id] = checkpointSlot{mp: *mp, ghr: ghr, used: true}
+	return id, true
+}
+
+// Restore copies checkpoint id back into dst and returns the checkpointed
+// global history. The checkpoint remains allocated until Release.
+func (c *Checkpoints) Restore(id int, dst *Map) (ghr uint64) {
+	s := &c.slots[id]
+	if !s.used {
+		panic(fmt.Sprintf("rename: restore of free checkpoint %d", id))
+	}
+	dst.m = s.mp.m
+	return s.ghr
+}
+
+// Release frees checkpoint id (branch resolved correctly or committed, or
+// was killed).
+func (c *Checkpoints) Release(id int) {
+	if !c.slots[id].used {
+		panic(fmt.Sprintf("rename: double release of checkpoint %d", id))
+	}
+	c.slots[id].used = false
+	c.free = append(c.free, id)
+}
+
+// Available returns the number of free checkpoint slots.
+func (c *Checkpoints) Available() int { return len(c.free) }
+
+// Capacity returns the total number of slots.
+func (c *Checkpoints) Capacity() int { return len(c.slots) }

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCalibrationAgainstTable1 checks each synthetic benchmark's
+// misprediction rate under the baseline gshare (11-bit history,
+// the scaled baseline — see DESIGN.md) against
+// the paper's Table 1 target. The tolerance is deliberately loose — the
+// reproduction needs the ordering and rough magnitudes, not exact rates —
+// but tight enough to catch a mix regression.
+func TestCalibrationAgainstTable1(t *testing.T) {
+	for _, b := range Suite(500_000) {
+		b := b
+		t.Run(b.Spec.Name, func(t *testing.T) {
+			p, err := Generate(b.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rate, n, err := GshareMispredictRate(p, 11, 1<<22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < 1000 {
+				t.Fatalf("only %d dynamic branches; workload too small", n)
+			}
+			target := b.PaperMispredict
+			t.Logf("%-9s measured %.2f%%  target %.2f%%  (%d branches)",
+				b.Spec.Name, 100*rate, 100*target, n)
+			// Accept within a factor band: [0.6x, 1.6x] plus 1pp absolute slack.
+			lo := 0.6*target - 0.01
+			hi := 1.6*target + 0.01
+			if rate < lo || rate > hi {
+				t.Errorf("misprediction rate %.2f%% outside calibration band [%.2f%%, %.2f%%]",
+					100*rate, 100*lo, 100*hi)
+			}
+		})
+	}
+}
+
+// TestSuiteOrderingMatchesTable1 verifies the relative ordering that the
+// paper's analysis depends on: go is worst, vortex best, m88ksim and xlisp
+// in the predictable low range.
+func TestSuiteOrderingMatchesTable1(t *testing.T) {
+	rates := map[string]float64{}
+	for _, b := range Suite(500_000) {
+		p, err := Generate(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate, _, err := GshareMispredictRate(p, 11, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[b.Spec.Name] = rate
+	}
+	for name, r := range rates {
+		if name == "go" {
+			continue
+		}
+		if r >= rates["go"] {
+			t.Errorf("go must have the highest misprediction rate; %s=%.3f >= go=%.3f", name, r, rates["go"])
+		}
+	}
+	for name, r := range rates {
+		if name == "vortex" {
+			continue
+		}
+		if r <= rates["vortex"] {
+			t.Errorf("vortex must have the lowest misprediction rate; %s=%.3f <= vortex=%.3f", name, r, rates["vortex"])
+		}
+	}
+	if math.Abs(rates["m88ksim"]-0.042) > 0.035 {
+		t.Errorf("m88ksim rate %.3f too far from 4.2%%", rates["m88ksim"])
+	}
+}

@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+)
+
+// DefaultTargetInsts is the default dynamic instruction count per
+// benchmark. The paper simulates 113M-553M instructions; this reproduction
+// scales down (as the paper itself scaled its inputs) — all reported
+// metrics converge well before this length for these generators.
+const DefaultTargetInsts = 400_000
+
+// Benchmark pairs a SPECint95 benchmark name with its synthetic stand-in
+// spec. PaperMispredict is Table 1's misprediction rate, the calibration
+// target.
+type Benchmark struct {
+	Spec            Spec
+	PaperMispredict float64 // Table 1, fraction
+	PaperMInsts     float64 // Table 1, millions of instructions (descriptive)
+}
+
+// Suite returns the eight SPECint95 stand-ins in the paper's Table 1
+// order, each targeting the given dynamic instruction count (0 means
+// DefaultTargetInsts).
+//
+// The branch mixes below were calibrated so that each program's
+// misprediction rate under the baseline gshare predictor (14-bit history,
+// 16k counters) approximates Table 1. The character of each mix also
+// follows the paper's analysis: go is dominated by near-random branches
+// (clustered mispredictions, high JRS PVN), m88ksim by moderately biased
+// branches (isolated mispredictions, low JRS PVN — the paper's anomaly),
+// vortex by highly structured loops.
+func Suite(targetInsts uint64) []Benchmark {
+	if targetInsts == 0 {
+		targetInsts = DefaultTargetInsts
+	}
+	bern := func(p float64) BranchSpec { return BranchSpec{Kind: KindBernoulli, Bias: p} }
+	pat := func(k int) BranchSpec { return BranchSpec{Kind: KindPattern, Period: k} }
+	loop := func(t int) BranchSpec { return BranchSpec{Kind: KindLoop, Trip: t} }
+	sw := func(k int) BranchSpec { return BranchSpec{Kind: KindSwitch, Fanout: k} }
+	call := func(d int) BranchSpec { return BranchSpec{Kind: KindCall, CallDepth: d} }
+	rep := func(n int, s BranchSpec) []BranchSpec {
+		out := make([]BranchSpec, n)
+		for i := range out {
+			out[i] = s
+		}
+		return out
+	}
+	cat := func(groups ...[]BranchSpec) []BranchSpec {
+		var out []BranchSpec
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+
+	return []Benchmark{
+		{
+			PaperMispredict: 0.0913, PaperMInsts: 113.8,
+			Spec: Spec{
+				Name: "compress", Seed: 101, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(2, bern(0.5)), rep(2, bern(0.8)),
+					rep(2, pat(4)), rep(2, loop(5)),
+				),
+				BlockLen: 8, Chains: 6,
+				LoadFrac: 0.20, StoreFrac: 0.08, MulFrac: 0.02,
+				PredDepth: 6,
+			},
+		},
+		{
+			PaperMispredict: 0.1109, PaperMInsts: 334.1,
+			Spec: Spec{
+				Name: "gcc", Seed: 102, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(2, bern(0.5)), rep(2, bern(0.85)),
+					rep(2, pat(6)), rep(2, loop(5)),
+					rep(1, sw(8)), rep(1, call(1)),
+				),
+				BlockLen: 6, Chains: 5,
+				LoadFrac: 0.22, StoreFrac: 0.10, MulFrac: 0.01,
+				PredDepth: 6,
+			},
+		},
+		{
+			PaperMispredict: 0.0827, PaperMInsts: 249.1,
+			Spec: Spec{
+				Name: "perl", Seed: 103, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(1, bern(0.5)), rep(1, bern(0.65)), rep(2, bern(0.85)),
+					rep(2, pat(5)), rep(2, loop(6)),
+					rep(1, sw(6)), rep(1, call(2)),
+				),
+				BlockLen: 7, Chains: 5,
+				LoadFrac: 0.20, StoreFrac: 0.10,
+				PredDepth: 6,
+			},
+		},
+		{
+			PaperMispredict: 0.2480, PaperMInsts: 549.1,
+			Spec: Spec{
+				Name: "go", Seed: 104, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(4, bern(0.5)), rep(2, bern(0.7)),
+					rep(1, pat(4)), rep(2, loop(5)),
+				),
+				BlockLen: 6, Chains: 6,
+				LoadFrac: 0.18, StoreFrac: 0.06,
+				PredDepth: 8,
+			},
+		},
+		{
+			PaperMispredict: 0.0420, PaperMInsts: 552.7,
+			Spec: Spec{
+				Name: "m88ksim", Seed: 105, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(10, bern(0.95)),
+					rep(4, bern(0.995)),
+				),
+				BlockLen: 12, Chains: 8,
+				LoadFrac: 0.10, StoreFrac: 0.05, MulFrac: 0.02,
+				PredDepth: 4,
+			},
+		},
+		{
+			PaperMispredict: 0.0520, PaperMInsts: 216.1,
+			Spec: Spec{
+				Name: "xlisp", Seed: 106, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(1, bern(0.5)), rep(2, bern(0.85)),
+					rep(2, pat(6)), rep(3, loop(5)),
+					rep(2, call(2)),
+				),
+				BlockLen: 5, Chains: 5,
+				LoadFrac: 0.25, StoreFrac: 0.12, MulFrac: 0.04,
+				PredDepth: 6,
+			},
+		},
+		{
+			PaperMispredict: 0.0185, PaperMInsts: 234.4,
+			Spec: Spec{
+				Name: "vortex", Seed: 107, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(1, bern(0.55)),
+					rep(2, pat(8)), rep(5, loop(6)),
+				),
+				BlockLen: 6, Chains: 4,
+				LoadFrac: 0.22, StoreFrac: 0.12, MulFrac: 0.06,
+				PredDepth: 6,
+			},
+		},
+		{
+			PaperMispredict: 0.0837, PaperMInsts: 347.0,
+			Spec: Spec{
+				Name: "jpeg", Seed: 108, TargetInsts: targetInsts,
+				Branches: cat(
+					rep(2, bern(0.5)), rep(1, bern(0.75)),
+					rep(1, pat(4)), rep(3, loop(8)),
+				),
+				BlockLen: 10, Chains: 8,
+				LoadFrac: 0.15, StoreFrac: 0.05, MulFrac: 0.04, FPFrac: 0.06,
+				PredDepth: 5,
+			},
+		},
+	}
+}
+
+// ByName returns the suite benchmark with the given name.
+func ByName(name string, targetInsts uint64) (Benchmark, error) {
+	for _, b := range Suite(targetInsts) {
+		if b.Spec.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in Table 1 order.
+func Names() []string {
+	s := Suite(1)
+	names := make([]string, len(s))
+	for i, b := range s {
+		names[i] = b.Spec.Name
+	}
+	return names
+}
+
+// GshareMispredictRate replays the program's dynamic branch trace through
+// a gshare predictor (trained at every branch, history updated with actual
+// outcomes) and returns the misprediction rate. This is the calibration
+// instrument for matching Table 1: it measures predictor-visible branch
+// behaviour without the cost of a full pipeline simulation.
+func GshareMispredictRate(p *isa.Program, histBits int, maxInsts uint64) (rate float64, branches int, err error) {
+	recs, _, err := isa.Trace(p, maxInsts)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := bpred.NewGshare(histBits)
+	hist := uint64(0)
+	miss := 0
+	n := 0
+	for _, r := range recs {
+		if r.Indirect {
+			continue // indirect jumps are BTB territory, not gshare's
+		}
+		n++
+		pred := g.Predict(int(r.PC), hist)
+		if pred != r.Taken {
+			miss++
+		}
+		g.Update(int(r.PC), hist, r.Taken)
+		hist = bpred.PushHistory(hist, r.Taken)
+	}
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return float64(miss) / float64(n), n, nil
+}
