@@ -1,0 +1,50 @@
+GO ?= go
+INSTS ?= 400000
+BENCHTIME ?= 2s
+
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# check mirrors the CI gate: build, vet, formatting, tests.
+check: build vet fmt-check test
+
+# bench runs the measured benchmark suite (cycle loop, predictors,
+# confidence, renamer, interpreter, full-simulator and harness sweeps).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1800s
+
+# bench-smoke runs every benchmark for a single iteration (the CI smoke).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# benchreport runs the suite and writes a BENCH_<date>.json snapshot with
+# ns/op, allocs/op, simulated-instructions-per-second and the hmean-IPC
+# correctness fingerprint. See cmd/benchreport.
+benchreport:
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME)
+
+# experiments regenerates the paper's tables (Figures 8-12 + ablations).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -insts $(INSTS)
+
+clean:
+	$(GO) clean ./...

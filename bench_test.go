@@ -16,6 +16,8 @@ import (
 	"repro/internal/ctxtag"
 	"repro/internal/harness"
 	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/rename"
 	"repro/internal/workload"
 )
 
@@ -112,6 +114,85 @@ func benchSimulator(b *testing.B, cfg core.Config) {
 			b.Fatal(err)
 		}
 		committed += res.Stats.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkCycleLoop measures the steady-state cost of one simulated cycle
+// (commit/writeback/issue/rename/fetch) on the SEE machine: ns per cycle
+// and, with -benchmem, allocations per cycle — the number the hot-path
+// optimization pass drives toward zero.
+func BenchmarkCycleLoop(b *testing.B) {
+	bm, err := workload.ByName("gcc", 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.Generate(bm.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.ConfigSEE()
+	m, err := pipeline.New(prog, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Halted() {
+			b.StopTimer()
+			if m, err = pipeline.New(prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		m.Step()
+	}
+}
+
+// BenchmarkRenamer measures the rename-stage data structures together: map
+// update, free-list allocate/free, and the per-branch checkpoint
+// take/restore/release cycle.
+func BenchmarkRenamer(b *testing.B) {
+	fl := rename.NewFreeList(352, isa.NumRegs)
+	ck := rename.NewCheckpoints(64)
+	mp := rename.NewIdentityMap()
+	for i := 0; i < b.N; i++ {
+		p, ok := fl.Alloc()
+		if !ok {
+			b.Fatal("free list exhausted")
+		}
+		old := mp.Set(isa.Reg(i&31), p)
+		if i&7 == 0 {
+			id, ok := ck.Take(mp, uint64(i))
+			if ok {
+				ck.Restore(id, mp)
+				ck.Release(id)
+			}
+		}
+		fl.Free(old)
+	}
+}
+
+// BenchmarkHarnessSweep runs the full Figure 8 configuration sweep (six
+// machine configurations) end to end and reports aggregate simulated
+// instructions per wall-clock second — the throughput number that bounds
+// every experiment in EXPERIMENTS.md. cmd/benchreport records this metric
+// in the BENCH_<date>.json snapshots.
+func BenchmarkHarnessSweep(b *testing.B) {
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.Matrix
+		for _, bench := range m.Benchmarks {
+			for _, cfg := range m.Configs {
+				if c := m.Cell(bench, cfg); c != nil {
+					committed += c.Stats.Committed
+				}
+			}
+		}
 	}
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "sim-insts/s")
 }

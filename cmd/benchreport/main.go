@@ -1,0 +1,275 @@
+// Command benchreport runs the repository benchmark suite and writes a
+// machine-readable BENCH_<date>.json snapshot: ns/op, B/op, allocs/op and
+// the custom metrics the suite reports (notably simulated instructions per
+// second), plus a harmonic-mean-IPC fingerprint of the Figure 8 matrix so a
+// snapshot also certifies that the simulator still computes the same
+// results it was fast at.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                       # run suite, write BENCH_<date>.json
+//	go run ./cmd/benchreport -benchtime 5s
+//	go run ./cmd/benchreport -input old_bench.txt  # parse an existing `go test -bench` log
+//	go run ./cmd/benchreport -baseline BENCH_a.json -out BENCH_b.json
+//
+// With -baseline, the snapshot embeds the baseline's numbers and the
+// speedup ratios against it, so a committed snapshot documents a
+// performance change without needing the previous file side by side.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom units, e.g. sim-insts/s
+}
+
+// Comparison relates one benchmark to the same benchmark in the baseline.
+type Comparison struct {
+	Name            string  `json:"name"`
+	BaseNsPerOp     float64 `json:"base_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"` // base_ns_per_op / ns_per_op
+	BaseAllocsPerOp float64 `json:"base_allocs_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+}
+
+// Report is the snapshot schema.
+type Report struct {
+	Date        string       `json:"date"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	CPU         string       `json:"cpu,omitempty"`
+	Benchtime   string       `json:"benchtime,omitempty"`
+	Benchmarks  []Benchmark  `json:"benchmarks"`
+	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
+	Baseline    string       `json:"baseline,omitempty"` // file the comparison is against
+	Comparisons []Comparison `json:"comparisons,omitempty"`
+}
+
+// Fingerprint pins the simulator's correctness: the harmonic-mean IPC of
+// every Figure 8 configuration at a fixed instruction budget. Two
+// snapshots with different fingerprints are not measuring the same
+// simulator semantics and must not be compared.
+type Fingerprint struct {
+	TargetInsts uint64             `json:"target_insts"`
+	HMeanIPC    map[string]float64 `json:"hmean_ipc"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+		benchtime = flag.String("benchtime", "2s", "benchtime passed to go test")
+		input     = flag.String("input", "", "parse this `go test -bench` log instead of running the suite")
+		baseline  = flag.String("baseline", "", "BENCH_*.json snapshot to compare against")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		insts     = flag.Uint64("fingerprint-insts", 100000, "instruction budget for the Figure 8 fingerprint (0 disables)")
+	)
+	flag.Parse()
+
+	rep := &Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	var raw string
+	if *input != "" {
+		b, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		raw = string(b)
+	} else {
+		rep.Benchtime = *benchtime
+		fmt.Fprintf(os.Stderr, "benchreport: running go test -bench %s -benchtime %s\n", *benchRe, *benchtime)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRe,
+			"-benchmem", "-benchtime", *benchtime, "-timeout", "1800s")
+		cmd.Stderr = os.Stderr
+		outB, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test -bench: %w", err))
+		}
+		raw = string(outB)
+	}
+	benchmarks, cpu, err := parseBenchOutput(raw)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results found"))
+	}
+	rep.Benchmarks = benchmarks
+	rep.CPU = cpu
+
+	if *insts > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: computing Figure 8 fingerprint at %d insts\n", *insts)
+		fp, err := fingerprint(*insts)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Fingerprint = fp
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline = *baseline
+		rep.Comparisons = compare(base, rep)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	for _, c := range rep.Comparisons {
+		fmt.Fprintf(os.Stderr, "  %-28s %8.2fx  allocs %10.0f -> %.0f\n",
+			c.Name, c.Speedup, c.BaseAllocsPerOp, c.AllocsPerOp)
+	}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts benchmark results and the cpu line from a
+// `go test -bench` log. Value/unit pairs after the iteration count are kept
+// verbatim: standard units fill the dedicated fields, anything else (the
+// suite's sim-insts/s and friends) lands in Metrics.
+func parseBenchOutput(raw string) ([]Benchmark, string, error) {
+	var (
+		benchmarks []Benchmark
+		cpu        string
+	)
+	sc := bufio.NewScanner(strings.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		// Strip the -<gomaxprocs> suffix go test appends to benchmark names.
+		name := regexp.MustCompile(`-\d+$`).ReplaceAllString(m[1], "")
+		b := Benchmark{Name: name, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		benchmarks = append(benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return benchmarks, cpu, nil
+}
+
+// fingerprint runs the Figure 8 matrix in-process and records its
+// harmonic-mean IPC per configuration.
+func fingerprint(insts uint64) (*Fingerprint, error) {
+	res, err := harness.Figure8(harness.Options{TargetInsts: insts})
+	if err != nil {
+		return nil, err
+	}
+	fp := &Fingerprint{TargetInsts: insts, HMeanIPC: make(map[string]float64)}
+	for _, c := range res.Matrix.Configs {
+		fp.HMeanIPC[c] = res.Matrix.HarmonicMean(c)
+	}
+	return fp, nil
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare pairs benchmarks present in both reports.
+func compare(base, cur *Report) []Comparison {
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	var cs []Comparison
+	for _, b := range cur.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok || old.NsPerOp == 0 || b.NsPerOp == 0 {
+			continue
+		}
+		cs = append(cs, Comparison{
+			Name:            b.Name,
+			BaseNsPerOp:     old.NsPerOp,
+			NsPerOp:         b.NsPerOp,
+			Speedup:         old.NsPerOp / b.NsPerOp,
+			BaseAllocsPerOp: old.AllocsPerOp,
+			AllocsPerOp:     b.AllocsPerOp,
+		})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	return cs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

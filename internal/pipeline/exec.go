@@ -22,7 +22,8 @@ func (m *Machine) issue() {
 
 	// Stores older than the current scan point (the window is seq-sorted,
 	// so this accumulates exactly the "older stores" set for each load).
-	var stores []*entry
+	// The scratch buffer is reused across cycles.
+	stores := m.storesScratch[:0]
 
 	for _, e := range m.window {
 		if e.state != stateWaiting {
@@ -54,7 +55,7 @@ func (m *Machine) issue() {
 
 		var unit isa.FUClass
 		ok := false
-		switch e.inst.Op.Class() {
+		switch e.class {
 		case isa.ClassIntEither:
 			if availInt0 > 0 {
 				unit, ok = isa.ClassIntType0, true
@@ -84,7 +85,7 @@ func (m *Machine) issue() {
 			continue
 		}
 
-		lat := e.inst.Op.Latency()
+		lat := int(e.lat)
 		if e.isLoad {
 			issued, forwarded := m.issueLoad(e, stores)
 			if !issued {
@@ -125,6 +126,7 @@ func (m *Machine) issue() {
 			stores = append(stores, e)
 		}
 	}
+	m.storesScratch = stores[:0]
 }
 
 // execute computes e's result with real operand values (the execution-
@@ -213,6 +215,9 @@ func (m *Machine) writeback() {
 	buses := m.cfg.ResolutionBuses
 	for _, e := range completing {
 		if e.killed {
+			// Dropped from the ring: the last reference to a squashed
+			// entry, so it can be recycled now.
+			m.freeEntry(e)
 			continue
 		}
 		if (e.isBranch || e.isIndirect) && m.cfg.ResolutionBuses > 0 && buses == 0 {
@@ -239,6 +244,8 @@ func (m *Machine) writeback() {
 			buses--
 		}
 	}
+	// Keep the drained slot's capacity for future completion events.
+	m.ring[slot] = completing[:0]
 }
 
 // resolve handles a conditional branch's resolution (Sec. 3.2.3): for a
@@ -345,6 +352,9 @@ func (m *Machine) killMatching(minSeq uint64, pred func(ctxtag.Tag) bool, protec
 	m.window = kept
 
 	for i, latch := range m.frontEnd {
+		if len(latch) == 0 {
+			continue
+		}
 		keptF := latch[:0]
 		for _, f := range latch {
 			if f.seq > minSeq && pred(f.tag) {
@@ -358,6 +368,7 @@ func (m *Machine) killMatching(minSeq uint64, pred func(ctxtag.Tag) bool, protec
 		}
 		if len(keptF) == 0 {
 			m.frontEnd[i] = nil
+			m.freeLatch(keptF)
 		} else {
 			m.frontEnd[i] = keptF
 		}
@@ -391,6 +402,13 @@ func (m *Machine) killEntry(e *entry) {
 		}
 		m.ctxAlloc.Free(e.histPos)
 	}
+	if e.state != stateExecuting {
+		// Not scheduled in the completion ring (never issued, or already
+		// written back), so this was the last reference: recycle. Entries
+		// mid-flight in the ring are recycled by writeback when their
+		// completion event drains.
+		m.freeEntry(e)
+	}
 }
 
 // killFinst squashes a front-end instruction.
@@ -407,6 +425,7 @@ func (m *Machine) killFinst(f *finst) {
 		m.divergences--
 		m.ctxAlloc.Free(f.histPos)
 	}
+	m.freeFinst(f)
 }
 
 // broadcastClear is the branch commit bus (Sec. 3.2.2/3.2.3): when a
@@ -439,7 +458,9 @@ func (m *Machine) commit() {
 		}
 		m.window[0] = nil
 		m.window = m.window[1:]
+		m.winOff++
 		m.commitEntry(e)
+		m.freeEntry(e)
 		committed++
 		if m.halted {
 			return

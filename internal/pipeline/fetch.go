@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/bpred"
 	"repro/internal/confidence"
@@ -20,19 +19,30 @@ func (m *Machine) fetch() {
 	if len(m.frontEnd[0]) > 0 {
 		return // stage 0 latch stalled
 	}
-	var fps []*path
+	fps := m.fpsScratch[:0]
 	for _, p := range m.paths {
 		if p != nil && p.fetching && !p.halted && m.cycle >= p.fetchStallUntil {
 			fps = append(fps, p)
 		}
 	}
+	m.fpsScratch = fps
 	if len(fps) == 0 {
 		return
 	}
-	sort.Slice(fps, func(i, j int) bool { return fps[i].seqNo < fps[j].seqNo })
+	// Insertion sort by creation order; seqNo is unique, so this yields the
+	// same order sort.Slice did, without the per-cycle reflection cost.
+	for i := 1; i < len(fps); i++ {
+		p := fps[i]
+		j := i - 1
+		for j >= 0 && fps[j].seqNo > p.seqNo {
+			fps[j+1] = fps[j]
+			j--
+		}
+		fps[j+1] = p
+	}
 
 	bw := m.cfg.FetchWidth
-	var fetched []*finst
+	fetched := m.allocLatch()
 	for i, p := range fps {
 		if bw <= 0 {
 			break
@@ -56,6 +66,8 @@ func (m *Machine) fetch() {
 	if len(fetched) > 0 {
 		m.frontEnd[0] = fetched
 		m.Stats.Fetched += uint64(len(fetched))
+	} else {
+		m.freeLatch(fetched)
 	}
 }
 
@@ -85,22 +97,23 @@ func (m *Machine) fetchPath(p *path, grant int, out *[]*finst) int {
 		}
 		in := m.prog.Code[pc]
 		m.seq++
-		f := &finst{seq: m.seq, pc: pc, inst: in, path: p, tag: p.tag}
-		switch {
-		case in.Op == isa.Jmp:
+		f := m.allocFinst()
+		f.seq, f.pc, f.inst, f.path, f.tag = m.seq, pc, in, p, p.tag
+		switch m.deco[pc].kind {
+		case fkJmp:
 			// Direct jump: the target is known at fetch; redirect with no
 			// bubble (multi-block fetch).
 			p.fetchPC = int(in.Target)
-		case in.Op == isa.Halt:
+		case fkHalt:
 			p.halted = true
-		case in.Op.IsCondBranch():
+		case fkCond:
 			m.fetchBranch(p, f)
-		case in.Op == isa.Call:
+		case fkCall:
 			// Direct call: redirect and push the return address onto this
 			// path's speculative return-address stack.
 			p.ras.Push(pc + 1)
 			p.fetchPC = int(in.Target)
-		case in.Op == isa.Jri || in.Op == isa.Ret:
+		case fkIndirect:
 			m.fetchIndirect(p, f)
 		default:
 			p.fetchPC = pc + 1
@@ -156,7 +169,7 @@ func (m *Machine) fetchBranch(p *path, f *finst) {
 	f.lowConf = !highConf
 	f.ghrAtPredict = hist
 	if m.hasCallRet {
-		f.rasSnap = p.ras.Clone()
+		m.snapshotRAS(f, p)
 	}
 	f.onTrace = p.onTrace && actualKnown
 	f.traceIdx = p.traceIdx
@@ -247,6 +260,16 @@ func (m *Machine) tryDiverge(p *path, f *finst, actualKnown, actualTaken bool) b
 	return true
 }
 
+// snapshotRAS captures the path's return-address stack into the finst's
+// persistent snapshot buffer (allocated once per pooled finst, reused for
+// the rest of the machine's lifetime).
+func (m *Machine) snapshotRAS(f *finst, p *path) {
+	if f.rasSnap == nil {
+		f.rasSnap = bpred.NewRAS(m.cfg.RASDepth)
+	}
+	f.rasSnap.CopyFrom(p.ras)
+}
+
 // fetchIndirect predicts an indirect jump's target with the BTB. On a BTB
 // miss the path stalls until the jump resolves (a real fetch unit has no
 // address to follow); on a hit fetch continues at the predicted target and
@@ -287,7 +310,7 @@ func (m *Machine) fetchIndirect(p *path, f *finst) {
 	}
 	f.predTarget, f.predTargetOK = target, ok
 	if m.hasCallRet {
-		f.rasSnap = p.ras.Clone() // post-pop state: recovery resumes after the return
+		m.snapshotRAS(f, p) // post-pop state: recovery resumes after the return
 	}
 	p.traceIdx++
 	if !ok {

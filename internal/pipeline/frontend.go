@@ -22,13 +22,18 @@ func (m *Machine) rename() {
 	latch := m.frontEnd[len(m.frontEnd)-1]
 	consumed := 0
 	for consumed < len(latch) && consumed < m.cfg.RenameWidth {
-		if !m.renameOne(latch[consumed]) {
+		f := latch[consumed]
+		if !m.renameOne(f) {
 			break
 		}
+		m.freeFinst(f)
 		consumed++
 	}
 	if consumed == len(latch) {
 		m.frontEnd[len(m.frontEnd)-1] = nil
+		if latch != nil {
+			m.freeLatch(latch)
+		}
 	} else if consumed > 0 {
 		m.frontEnd[len(m.frontEnd)-1] = latch[consumed:]
 	}
@@ -42,7 +47,8 @@ func (m *Machine) renameOne(f *finst) bool {
 	}
 	p := f.path
 	op := f.inst.Op
-	hasDest := op.HasDest() && f.inst.Dst != 0
+	d := &m.deco[f.pc]
+	hasDest := d.hasDest
 	if hasDest && m.freeList.Available() == 0 {
 		return false
 	}
@@ -50,15 +56,19 @@ func (m *Machine) renameOne(f *finst) bool {
 		return false
 	}
 
-	e := &entry{
+	e := m.allocEntry()
+	*e = entry{
 		seq:  f.seq,
 		pc:   f.pc,
 		inst: f.inst,
 		path: p,
 		tag:  f.tag,
 
-		isLoad:  op == isa.Load,
-		isStore: op == isa.Store,
+		class: d.class,
+		lat:   d.lat,
+
+		isLoad:  d.isLoad,
+		isStore: d.isStore,
 
 		isBranch:     f.isBranch,
 		isIndirect:   f.isIndirect,
@@ -73,11 +83,11 @@ func (m *Machine) renameOne(f *finst) bool {
 		onTrace:      f.onTrace,
 		traceIdx:     f.traceIdx,
 	}
-	if op.ReadsSrc1() {
+	if d.readsSrc1 {
 		e.readsSrc1 = true
 		e.src1Phys = p.regmap.Get(f.inst.Src1)
 	}
-	if op.ReadsSrc2() {
+	if d.readsSrc2 {
 		e.readsSrc2 = true
 		e.src2Phys = p.regmap.Get(f.inst.Src2)
 	}
@@ -93,9 +103,10 @@ func (m *Machine) renameOne(f *finst) bool {
 		e.hasCkpt = true
 		// The return-address stack is speculative per-path state like the
 		// register map and the history register: the snapshot captured at
-		// fetch (post-pop for returns) rides along with the checkpoint.
+		// fetch (post-pop for returns) rides along with the checkpoint,
+		// copied into the slot's preallocated buffer.
 		if m.hasCallRet {
-			m.ckptRAS[id] = f.rasSnap
+			m.ckptRAS[id].CopyFrom(f.rasSnap)
 		}
 		if f.diverged {
 			f.childT.regmap = p.regmap.Clone()
@@ -117,7 +128,7 @@ func (m *Machine) renameOne(f *finst) bool {
 	if op == isa.Nop || op == isa.Halt {
 		e.state = stateDone // no functional unit needed
 	}
-	m.window = append(m.window, e)
+	m.windowPush(e)
 	m.Stats.Renamed++
 	if m.tracer != nil {
 		m.emit(TraceRename, e.seq, e.pc, e.tag, "")

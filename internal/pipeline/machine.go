@@ -31,6 +31,11 @@ type entry struct {
 	path *path
 	tag  ctxtag.Tag
 
+	// Predecoded issue metadata (copied from the machine's deco table at
+	// rename so issue never indexes it).
+	class isa.FUClass
+	lat   uint8
+
 	state     entryState
 	killed    bool
 	hasDest   bool
@@ -99,6 +104,31 @@ type path struct {
 	traceIdx int
 }
 
+// deco is the per-PC predecoded metadata table entry: everything the
+// fetch/rename/issue stages would otherwise recompute from the opcode on
+// every dynamic instance of the instruction.
+type deco struct {
+	class     isa.FUClass
+	lat       uint8
+	kind      uint8 // fetch-stage dispatch (fk*)
+	hasDest   bool  // writes a register and Dst != r0
+	readsSrc1 bool
+	readsSrc2 bool
+	isLoad    bool
+	isStore   bool
+	isRet     bool
+}
+
+// Fetch-stage dispatch kinds (deco.kind).
+const (
+	fkOther uint8 = iota
+	fkJmp
+	fkHalt
+	fkCond
+	fkCall
+	fkIndirect
+)
+
 // finst is an instruction in flight in the in-order front end.
 type finst struct {
 	seq  uint64
@@ -162,8 +192,25 @@ type Machine struct {
 
 	// Pipeline structures.
 	frontEnd [][]*finst // FrontEndStages latches, each up to FetchWidth
-	window   []*entry   // seq-ordered, alive entries only
+	window   []*entry   // seq-ordered, alive entries only: winBuf[winOff : winOff+len]
+	winBuf   []*entry   // window backing array, compacted when the tail is reached
+	winOff   int        // offset of window[0] in winBuf
 	ring     [][]*entry // completion events indexed by cycle % len(ring)
+
+	// deco caches per-PC decode and classification work (FU class, latency,
+	// operand/dest usage, fetch-stage dispatch kind) so the per-cycle loop
+	// never re-derives it from the opcode.
+	deco []deco
+
+	// Object pools and per-cycle scratch buffers. The steady-state cycle
+	// loop allocates nothing: window entries, front-end instructions and
+	// latch slices are recycled, and fetch/issue reuse their scratch space.
+	entryPool     []*entry
+	finstPool     []*finst
+	latchPool     [][]*finst
+	fpsScratch    []*path
+	storesScratch []*entry
+	livePaths     int // live CTX-table entries (maintained by newPath/releasePath)
 
 	// Optional memory hierarchy (nil when the paper's always-hit
 	// assumption is in effect).
@@ -204,7 +251,7 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	if maxInsts == 0 {
 		maxInsts = defaultRefCap
 	}
-	trace, ref, err := isa.Trace(prog, maxInsts)
+	trace, ref, err := isa.TraceCached(prog, maxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: reference run: %w", err)
 	}
@@ -236,6 +283,10 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		maxLat += cfg.DCacheMissLatency + 2
 	}
 	m.ring = make([][]*entry, maxLat+2)
+	// The window is bounded by WindowSize; a 2x backing array makes the
+	// head-popping commit path O(1) with amortized-free compaction.
+	m.winBuf = make([]*entry, 2*cfg.WindowSize)
+	m.window = m.winBuf[:0]
 	copy(m.mem, prog.DataInit)
 	// Logical registers start architecturally zero and ready.
 	for i := 0; i < isa.NumRegs; i++ {
@@ -270,11 +321,47 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m.btb = bpred.NewBTB(cfg.BTBBits)
-	m.ckptRAS = make([]*bpred.RAS, cfg.Checkpoints)
 	for _, in := range prog.Code {
 		if in.Op == isa.Call || in.Op == isa.Ret {
 			m.hasCallRet = true
 			break
+		}
+	}
+	// Checkpoint RAS snapshots are preallocated per slot and overwritten in
+	// place (CopyFrom) when a branch renames, so the per-branch snapshot
+	// never allocates in steady state.
+	m.ckptRAS = make([]*bpred.RAS, cfg.Checkpoints)
+	if m.hasCallRet {
+		for i := range m.ckptRAS {
+			m.ckptRAS[i] = bpred.NewRAS(cfg.RASDepth)
+		}
+	}
+
+	// Predecode the program once; the fetch/rename/issue stages index this
+	// table instead of re-deriving classification from the opcode.
+	m.deco = make([]deco, len(prog.Code))
+	for pc, in := range prog.Code {
+		d := &m.deco[pc]
+		op := in.Op
+		d.class = op.Class()
+		d.lat = uint8(op.Latency())
+		d.hasDest = op.HasDest() && in.Dst != 0
+		d.readsSrc1 = op.ReadsSrc1()
+		d.readsSrc2 = op.ReadsSrc2()
+		d.isLoad = op == isa.Load
+		d.isStore = op == isa.Store
+		d.isRet = op == isa.Ret
+		switch {
+		case op == isa.Jmp:
+			d.kind = fkJmp
+		case op == isa.Halt:
+			d.kind = fkHalt
+		case op.IsCondBranch():
+			d.kind = fkCond
+		case op == isa.Call:
+			d.kind = fkCall
+		case op == isa.Jri || op == isa.Ret:
+			d.kind = fkIndirect
 		}
 	}
 
@@ -299,6 +386,72 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// allocEntry takes a window entry from the pool (or the heap when the pool
+// is dry). Callers overwrite every field, so no reset happens here.
+func (m *Machine) allocEntry() *entry {
+	if n := len(m.entryPool); n > 0 {
+		e := m.entryPool[n-1]
+		m.entryPool = m.entryPool[:n-1]
+		return e
+	}
+	return new(entry)
+}
+
+// freeEntry recycles a window entry. The entry must no longer be reachable
+// from the window, the completion ring, or any scratch buffer in use.
+func (m *Machine) freeEntry(e *entry) {
+	m.entryPool = append(m.entryPool, e)
+}
+
+// allocFinst takes a front-end instruction from the pool, fully reset. The
+// RAS snapshot buffer (if one was ever allocated for this object) is kept
+// so per-branch snapshots are allocation-free in steady state.
+func (m *Machine) allocFinst() *finst {
+	if n := len(m.finstPool); n > 0 {
+		f := m.finstPool[n-1]
+		m.finstPool = m.finstPool[:n-1]
+		snap := f.rasSnap
+		*f = finst{rasSnap: snap}
+		return f
+	}
+	return new(finst)
+}
+
+// freeFinst recycles a front-end instruction.
+func (m *Machine) freeFinst(f *finst) {
+	m.finstPool = append(m.finstPool, f)
+}
+
+// allocLatch takes an empty front-end latch slice from the pool.
+func (m *Machine) allocLatch() []*finst {
+	if n := len(m.latchPool); n > 0 {
+		l := m.latchPool[n-1]
+		m.latchPool = m.latchPool[:n-1]
+		return l[:0]
+	}
+	return make([]*finst, 0, m.cfg.FetchWidth)
+}
+
+// freeLatch recycles a latch slice's backing storage.
+func (m *Machine) freeLatch(l []*finst) {
+	m.latchPool = append(m.latchPool, l[:0])
+}
+
+// windowPush appends a renamed entry to the window. The backing array is
+// twice WindowSize, so compaction triggers at most once per WindowSize
+// pushes: amortized O(1), never allocating.
+func (m *Machine) windowPush(e *entry) {
+	if m.winOff+len(m.window) == len(m.winBuf) {
+		n := copy(m.winBuf, m.window)
+		for i := n; i < n+m.winOff; i++ {
+			m.winBuf[i] = nil
+		}
+		m.winOff = 0
+		m.window = m.winBuf[:n]
+	}
+	m.window = append(m.window, e)
+}
+
 // newPath allocates a CTX-table slot. Callers must have verified a slot is
 // free (freePathSlots > 0).
 func (m *Machine) newPath(tag ctxtag.Tag, fetchPC int, ghr uint64, onTrace bool, traceIdx int) *path {
@@ -312,6 +465,7 @@ func (m *Machine) newPath(tag ctxtag.Tag, fetchPC int, ghr uint64, onTrace bool,
 				onTrace: onTrace, traceIdx: traceIdx,
 			}
 			m.paths[i] = np
+			m.livePaths++
 			return np
 		}
 	}
@@ -319,23 +473,11 @@ func (m *Machine) newPath(tag ctxtag.Tag, fetchPC int, ghr uint64, onTrace bool,
 }
 
 func (m *Machine) freePathSlots() int {
-	n := 0
-	for _, p := range m.paths {
-		if p == nil {
-			n++
-		}
-	}
-	return n
+	return len(m.paths) - m.livePaths
 }
 
 func (m *Machine) livePathCount() int {
-	n := 0
-	for _, p := range m.paths {
-		if p != nil {
-			n++
-		}
-	}
-	return n
+	return m.livePaths
 }
 
 // releasePath frees a CTX-table slot.
@@ -344,6 +486,7 @@ func (m *Machine) releasePath(p *path) {
 	p.fetching = false
 	p.regmap = nil
 	m.paths[p.id] = nil
+	m.livePaths--
 }
 
 // maybeReclaimZombie frees a diverged parent whose obligations are done:

@@ -102,12 +102,13 @@ func (m *Machine) injectMRC(p *path) bool {
 	if len(m.frontEnd[last]) > 0 {
 		return false // latch busy; fall back to normal refetch
 	}
-	var injected []*finst
+	injected := m.allocLatch()
 	for _, pci := range seq {
 		pc := int(pci)
 		in := m.prog.Code[pc]
 		m.seq++
-		f := &finst{seq: m.seq, pc: pc, inst: in, path: p, tag: p.tag}
+		f := m.allocFinst()
+		f.seq, f.pc, f.inst, f.path, f.tag = m.seq, pc, in, p, p.tag
 		switch in.Op {
 		case isa.Call:
 			p.ras.Push(pc + 1)
@@ -115,6 +116,7 @@ func (m *Machine) injectMRC(p *path) bool {
 		injected = append(injected, f)
 	}
 	if len(injected) == 0 {
+		m.freeLatch(injected)
 		return false
 	}
 	m.Stats.Fetched += uint64(len(injected))

@@ -59,7 +59,7 @@ func (mp *Map) CopyFrom(src *Map) { mp.m = src.m }
 type FreeList struct {
 	free  []PhysReg
 	total int
-	inUse map[PhysReg]bool // allocation tracking for invariant checks
+	inUse []bool // allocation tracking for invariant checks, indexed by PhysReg
 }
 
 // NewFreeList creates a free list for a machine with total physical
@@ -69,7 +69,7 @@ func NewFreeList(total, reserved int) *FreeList {
 	if total <= reserved {
 		panic(fmt.Sprintf("rename: %d physical registers cannot cover %d reserved", total, reserved))
 	}
-	fl := &FreeList{total: total, inUse: make(map[PhysReg]bool, total)}
+	fl := &FreeList{total: total, inUse: make([]bool, total)}
 	for p := total - 1; p >= reserved; p-- {
 		fl.free = append(fl.free, PhysReg(p))
 	}
@@ -99,7 +99,7 @@ func (fl *FreeList) Free(p PhysReg) {
 	if !fl.inUse[p] {
 		panic(fmt.Sprintf("rename: double free of physical register %d", p))
 	}
-	delete(fl.inUse, p)
+	fl.inUse[p] = false
 	fl.free = append(fl.free, p)
 }
 
