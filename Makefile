@@ -2,7 +2,7 @@ GO ?= go
 INSTS ?= 400000
 BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke clean
 
 all: build
 
@@ -45,6 +45,12 @@ benchreport:
 # experiments regenerates the paper's tables (Figures 8-12 + ablations).
 experiments:
 	$(GO) run ./cmd/experiments -exp all -insts $(INSTS)
+
+# serve-smoke boots polyserve, runs an experiment through the HTTP API,
+# diffs the result against cmd/experiments byte-for-byte, verifies the
+# memoization cache, and drains the server with SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -22,8 +22,6 @@ import (
 	"repro/internal/harness"
 )
 
-type renderable interface{ Render() string }
-
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig8..fig12, paths, ablations (or a specific abl-*), ext-cache, ext-cedesign, all")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -38,47 +36,20 @@ func main() {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
 
-	type experiment struct {
-		name string
-		run  func(harness.Options) (renderable, error)
-	}
-	wrap := func(f func(harness.Options) (*harness.SweepResult, error)) func(harness.Options) (renderable, error) {
-		return func(o harness.Options) (renderable, error) { return f(o) }
-	}
-	wrapA := func(f func(harness.Options) (*harness.AblationResult, error)) func(harness.Options) (renderable, error) {
-		return func(o harness.Options) (renderable, error) { return f(o) }
-	}
-	experiments := []experiment{
-		{"table1", func(o harness.Options) (renderable, error) { return harness.Table1(o) }},
-		{"fig8", func(o harness.Options) (renderable, error) { return harness.Figure8(o) }},
-		{"fig9", wrap(harness.Figure9)},
-		{"fig10", wrap(harness.Figure10)},
-		{"fig11", wrap(harness.Figure11)},
-		{"fig12", wrap(harness.Figure12)},
-		{"paths", func(o harness.Options) (renderable, error) { return harness.Paths(o) }},
-		{"abl-jrswidth", wrapA(harness.AblationJRSWidth)},
-		{"abl-ceindex", wrapA(harness.AblationCEIndex)},
-		{"abl-spechistory", wrapA(harness.AblationSpecHistory)},
-		{"abl-adaptive", wrapA(harness.AblationAdaptive)},
-		{"abl-fetchpolicy", wrapA(harness.AblationFetchPolicy)},
-		{"abl-eagerness", wrapA(harness.AblationEagerness)},
-		{"abl-predictors", wrapA(harness.AblationPredictors)},
-		{"abl-resbuses", wrapA(harness.AblationResolutionBuses)},
-		{"abl-mrc", wrapA(harness.AblationMRC)},
-		{"ext-cache", func(o harness.Options) (renderable, error) { return harness.ExtensionCacheSensitivity(o) }},
-		{"ext-cedesign", func(o harness.Options) (renderable, error) { return harness.ExtensionCEDesignSpace(o) }},
-	}
+	// The registry in internal/harness is shared with polyserve, so the
+	// same experiment name produces byte-identical tables in both.
+	experiments := harness.Experiments()
 
 	selected := map[string]bool{}
 	switch *exp {
 	case "all":
 		for _, e := range experiments {
-			selected[e.name] = true
+			selected[e.Name] = true
 		}
 	case "ablations":
 		for _, e := range experiments {
-			if strings.HasPrefix(e.name, "abl-") {
-				selected[e.name] = true
+			if strings.HasPrefix(e.Name, "abl-") {
+				selected[e.Name] = true
 			}
 		}
 	default:
@@ -89,26 +60,26 @@ func main() {
 
 	ran := 0
 	for _, e := range experiments {
-		if !selected[e.name] {
+		if !selected[e.Name] {
 			continue
 		}
 		ran++
 		start := time.Now()
-		r, err := e.run(opts)
+		r, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		if *jsonOut {
-			blob, err := json.MarshalIndent(map[string]any{"experiment": e.name, "result": r}, "", "  ")
+			blob, err := json.MarshalIndent(map[string]any{"experiment": e.Name, "result": r}, "", "  ")
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.name, err)
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
 				os.Exit(1)
 			}
 			fmt.Println(string(blob))
 			continue
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), r.Render())
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.Name, time.Since(start).Seconds(), r.Render())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)

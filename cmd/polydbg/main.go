@@ -37,7 +37,7 @@ import (
 func main() {
 	bench := flag.String("bench", "go", "benchmark name")
 	asmFile := flag.String("asm", "", "debug an assembly file instead of a benchmark")
-	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle")
+	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
 	insts := flag.Uint64("insts", 0, "dynamic instruction target (0 = default)")
 	flag.Parse()
 
@@ -56,19 +56,8 @@ func main() {
 		prog = p
 	}
 
-	var cfg core.Config
-	switch *model {
-	case "monopath":
-		cfg = core.ConfigMonopath()
-	case "see":
-		cfg = core.ConfigSEE()
-	case "dualpath":
-		cfg = core.ConfigDualPath()
-	case "oracle":
-		cfg = core.ConfigOracleBP()
-	default:
-		fail(fmt.Errorf("unknown model %q", *model))
-	}
+	cfg, err := core.ModelConfig(*model)
+	fail(err)
 
 	m, err := pipeline.New(prog, cfg)
 	fail(err)

@@ -1,0 +1,85 @@
+// Command polyserve runs the PolyPath simulation service: an HTTP/JSON
+// API over the experiment harness with job scheduling, backpressure, and
+// result memoization. See README.md ("Service") for the API and examples.
+//
+//	polyserve -addr :8080
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"fig8","insts":50000}'
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight jobs finish,
+// still-queued jobs are journaled to -journal and resumed on restart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 1, "concurrent jobs (each job parallelizes across cells internally)")
+	queue := flag.Int("queue", 16, "job queue capacity (backpressure beyond this)")
+	cacheCells := flag.Int("cache", 4096, "memoization cache capacity in cells (0 = disable)")
+	par := flag.Int("par", 0, "parallel simulations per job (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "default per-job wall-time cap (0 = none)")
+	maxInsts := flag.Uint64("maxinsts", 0, "per-benchmark instruction cap clients may request (0 = unbounded)")
+	journal := flag.String("journal", "polyserve.journal", "queued-job journal written on drain (empty = disable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueCapacity:  *queue,
+		CacheCells:     *cacheCells,
+		SimParallelism: *par,
+		DefaultTimeout: *timeout,
+		MaxInsts:       *maxInsts,
+		JournalPath:    *journal,
+		Log:            logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyserve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	logger.Printf("polyserve: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cacheCells)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "polyserve:", err)
+		os.Exit(1)
+	case got := <-sig:
+		logger.Printf("polyserve: %v: draining (in-flight jobs finish; queued jobs journal to %s)", got, *journal)
+	}
+
+	// Stop accepting HTTP first, then drain the scheduler.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("polyserve: http shutdown: %v", err)
+	}
+	n, err := srv.Drain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyserve: drain:", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		logger.Printf("polyserve: journaled %d queued job(s)", n)
+	}
+	logger.Printf("polyserve: bye")
+}

@@ -69,43 +69,25 @@ func main() {
 		return
 	}
 
-	var cfg core.Config
-	switch *model {
-	case "monopath":
-		cfg = core.ConfigMonopath()
-	case "see":
-		cfg = core.ConfigSEE()
-	case "dualpath":
-		cfg = core.ConfigDualPath()
-	case "oracle":
-		cfg = core.ConfigOracleBP()
-	case "see-oracle-ce":
-		cfg = core.ConfigSEEOracleCE()
-	case "dual-oracle-ce":
-		cfg = core.ConfigDualPathOracleCE()
-	case "adaptive":
-		cfg = core.ConfigSEEAdaptive()
-	case "eager":
-		cfg = core.ConfigSEE()
-		cfg.Confidence.Kind = pipeline.ConfAlwaysLow
-	default:
-		fail(fmt.Errorf("unknown model %q", *model))
-	}
+	base, err := core.ModelConfig(*model)
+	fail(err)
+	var mods []pipeline.Option
 	if *window > 0 {
-		cfg.WindowSize = *window
-		cfg.PhysRegs, cfg.Checkpoints = 0, 0
+		mods = append(mods, pipeline.WithWindowSize(*window))
 	}
 	if *depth > 0 {
-		cfg.FrontEndStages = *depth - 3
+		mods = append(mods, pipeline.WithPipelineDepth(*depth))
 	}
 	if *units > 0 {
-		cfg.NumIntType0, cfg.NumIntType1 = *units, *units
-		cfg.NumFPAdd, cfg.NumFPMul, cfg.NumMemPorts = *units, *units, *units
+		mods = append(mods, pipeline.WithUniformUnits(*units))
 	}
 	if *histBits > 0 {
-		cfg.Predictor.HistBits = *histBits
-		cfg.Confidence.IndexBits = *histBits
+		mods = append(mods, pipeline.WithHistoryBits(*histBits))
 	}
+	// The validated constructor turns any invalid flag combination into a
+	// descriptive typed error instead of a downstream panic.
+	cfg, err := pipeline.NewConfigFrom(base, mods...)
+	fail(err)
 
 	var pt *pipeline.PipeTrace
 	if *trace > 0 {

@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	l.Put("c", 3) // evicts b (a was refreshed)
+	if _, ok := l.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("a should be resident")
+	}
+	if _, ok := l.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	hits, misses := l.Stats()
+	if hits != 3 || misses != 2 {
+		t.Errorf("stats = %d hits %d misses, want 3/2", hits, misses)
+	}
+}
+
+func TestLRUPutRefreshesValue(t *testing.T) {
+	l := NewLRU[string](4)
+	l.Put("k", "old")
+	l.Put("k", "new")
+	if v, _ := l.Get("k"); v != "new" {
+		t.Errorf("Get = %q, want new", v)
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d after double Put", l.Len())
+	}
+}
+
+func TestLRUZeroCapacityStoresNothing(t *testing.T) {
+	l := NewLRU[int](0)
+	l.Put("a", 1)
+	if _, ok := l.Get("a"); ok {
+		t.Error("zero-capacity cache must not store")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				l.Put(k, i)
+				l.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity", l.Len())
+	}
+}

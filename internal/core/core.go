@@ -14,7 +14,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/pipeline"
@@ -40,12 +43,23 @@ type Result struct {
 // Run simulates prog under cfg and verifies the committed architectural
 // state against the functional reference execution.
 func Run(prog *isa.Program, cfg Config) (*Result, error) {
-	return RunWithTracer(prog, cfg, nil)
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run with cooperative cancellation threaded through the
+// cycle loop: cancelling (or timing out) the context aborts the simulation
+// promptly with the context's error.
+func RunContext(ctx context.Context, prog *isa.Program, cfg Config) (*Result, error) {
+	return runWithTracer(ctx, prog, cfg, nil)
 }
 
 // RunWithTracer is Run with a pipeline tracer attached (e.g. a
 // pipeline.PipeTrace collecting per-instruction stage timelines).
 func RunWithTracer(prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
+	return runWithTracer(context.Background(), prog, cfg, tr)
+}
+
+func runWithTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
 	m, err := pipeline.New(prog, cfg)
 	if err != nil {
 		return nil, err
@@ -53,7 +67,7 @@ func RunWithTracer(prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, 
 	if tr != nil {
 		m.SetTracer(tr)
 	}
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
 	}
 	if err := m.VerifyArchState(); err != nil {
@@ -121,4 +135,43 @@ func ConfigSEEAdaptive() Config {
 	c := pipeline.DefaultConfig()
 	c.Confidence.Kind = pipeline.ConfAdaptive
 	return c
+}
+
+// modelConfigs is the single registry of machine-model spellings shared by
+// every front end (polysim, polydbg, polyserve): one place to add a model,
+// one set of accepted names.
+var modelConfigs = map[string]func() Config{
+	"monopath":       ConfigMonopath,
+	"see":            ConfigSEE,
+	"dualpath":       ConfigDualPath,
+	"oracle":         ConfigOracleBP,
+	"see-oracle-ce":  ConfigSEEOracleCE,
+	"dual-oracle-ce": ConfigDualPathOracleCE,
+	"adaptive":       ConfigSEEAdaptive,
+	"eager": func() Config {
+		c := ConfigSEE()
+		c.Confidence.Kind = pipeline.ConfAlwaysLow
+		return c
+	},
+}
+
+// ModelNames returns the accepted model spellings, sorted.
+func ModelNames() []string {
+	names := make([]string, 0, len(modelConfigs))
+	for name := range modelConfigs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelConfig resolves a model name (e.g. "see", "monopath", "dualpath")
+// to its machine configuration. Unknown names return a descriptive error
+// listing the accepted spellings.
+func ModelConfig(name string) (Config, error) {
+	mk, ok := modelConfigs[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Config{}, fmt.Errorf("core: unknown model %q (valid: %s)", name, strings.Join(ModelNames(), ", "))
+	}
+	return mk(), nil
 }

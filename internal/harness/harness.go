@@ -11,18 +11,51 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// MemoValue is one memoized simulation outcome: everything a Matrix cell
+// needs. Simulations are deterministic, so replaying a MemoValue is
+// bit-identical to re-running the cell.
+type MemoValue struct {
+	IPC   float64
+	Stats stats.Sim
+}
+
+// Memo is a result cache consulted per (benchmark, config, replicate)
+// cell, keyed by the canonical hash of the normalized config plus the
+// workload identity and instruction cap. Implementations must be safe for
+// concurrent use; cache.LRU[MemoValue] satisfies the interface.
+type Memo interface {
+	Get(key string) (MemoValue, bool)
+	Put(key string, v MemoValue)
+}
+
+// CellEvent reports one finished (benchmark, config, replicate) cell to
+// Options.OnCell.
+type CellEvent struct {
+	Benchmark string
+	Config    string
+	Replicate int
+	FromCache bool
+	IPC       float64
+	Committed uint64
+	Cycles    uint64
+	Elapsed   time.Duration
+}
 
 // Options configure an experiment run.
 type Options struct {
@@ -38,6 +71,22 @@ type Options struct {
 	// workload seeds and averages the IPC, tightening the estimates at a
 	// proportional simulation cost (0 or 1 = single run, the default).
 	Replicates int
+	// Context cancels in-flight simulations mid-cycle-loop when done
+	// (nil = background). The experiment returns the context's error.
+	Context context.Context
+	// Memo, when non-nil, caches per-cell results across runs. Results
+	// are deterministic, so cache replay is bit-identical to simulation.
+	Memo Memo
+	// OnCell, when non-nil, observes every completed cell (including
+	// cache hits). It may be called concurrently from worker goroutines.
+	OnCell func(CellEvent)
+}
+
+func (o Options) context() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) replicates() int {
@@ -181,9 +230,19 @@ func (m *Matrix) HarmonicMean(config string) float64 {
 	return stats.HarmonicMeanIPC(vals)
 }
 
+// memoKey is the memoization identity of one cell: the workload identity
+// (benchmark name, seed, dynamic length) plus the canonical hash of the
+// normalized configuration (which covers the MaxInsts cap).
+func memoKey(spec workload.Spec, cfgHash string) string {
+	return fmt.Sprintf("w=%s:%d:%d|c=%s", spec.Name, spec.Seed, spec.TargetInsts, cfgHash)
+}
+
 // runMatrix simulates every benchmark under every configuration, in
-// parallel, reusing one generated program per benchmark.
+// parallel, reusing one generated program per benchmark. With Options.Memo
+// set, previously-simulated cells replay from the cache; with
+// Options.Context set, cancellation aborts in-flight cycle loops.
 func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
+	ctx := opts.context()
 	bms, progs, err := opts.suite()
 	if err != nil {
 		return nil, err
@@ -196,19 +255,37 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 	for _, nc := range configs {
 		mat.Configs = append(mat.Configs, nc.Name)
 	}
+	// One canonical hash per configuration, shared by all its cells.
+	cfgHash := make([]string, len(configs))
+	if opts.Memo != nil {
+		for i, nc := range configs {
+			h, err := pipeline.CanonicalHash(nc.Cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", nc.Name, err)
+			}
+			cfgHash[i] = h
+		}
+	}
 
 	type job struct {
 		bench string
+		spec  workload.Spec
 		prog  *isa.Program
 		nc    NamedConfig
+		hash  string
 		rep   int
 	}
 	reps := opts.replicates()
 	jobs := make([]job, 0, len(bms)*len(configs)*reps)
 	for i, bm := range bms {
-		for _, nc := range configs {
+		for ci, nc := range configs {
 			for r := 0; r < reps; r++ {
-				jobs = append(jobs, job{bench: bm.Spec.Name, prog: progs[i][r], nc: nc, rep: r})
+				spec := bm.Spec
+				spec.Seed += int64(1000 * r) // mirror suite()'s replicate seeding
+				jobs = append(jobs, job{
+					bench: bm.Spec.Name, spec: spec, prog: progs[i][r],
+					nc: nc, hash: cfgHash[ci], rep: r,
+				})
 			}
 		}
 	}
@@ -224,13 +301,49 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := core.Run(j.prog, j.nc.Cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
 				errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
+				mu.Unlock()
 				return
 			}
+			var (
+				val       MemoValue
+				fromCache bool
+				key       string
+			)
+			start := time.Now()
+			if opts.Memo != nil {
+				key = memoKey(j.spec, j.hash)
+				val, fromCache = opts.Memo.Get(key)
+			}
+			if !fromCache {
+				res, err := core.RunContext(ctx, j.prog, j.nc.Cfg)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
+					mu.Unlock()
+					return
+				}
+				val = MemoValue{IPC: res.IPC, Stats: res.Stats}
+				if opts.Memo != nil {
+					opts.Memo.Put(key, val)
+				}
+			}
+			if opts.OnCell != nil {
+				opts.OnCell(CellEvent{
+					Benchmark: j.bench,
+					Config:    j.nc.Name,
+					Replicate: j.rep,
+					FromCache: fromCache,
+					IPC:       val.IPC,
+					Committed: val.Stats.Committed,
+					Cycles:    val.Stats.Cycles,
+					Elapsed:   time.Since(start),
+				})
+			}
+			mu.Lock()
+			defer mu.Unlock()
 			cell := mat.cells[j.bench][j.nc.Name]
 			if cell == nil {
 				cell = &Cell{
@@ -240,11 +353,11 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 				}
 				mat.cells[j.bench][j.nc.Name] = cell
 			}
-			cell.ipcByRep[j.rep] = res.IPC
+			cell.ipcByRep[j.rep] = val.IPC
 			if j.rep == 0 {
 				// Replicate 0 (the suite's canonical seed) carries the
 				// detailed statistics; extra replicates only tighten IPC.
-				cell.Stats = res.Stats
+				cell.Stats = val.Stats
 			}
 		}(j)
 	}
@@ -267,6 +380,34 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 		return nil, errs[0]
 	}
 	return mat, nil
+}
+
+// RunConfigs is the exported deterministic fan-out: it simulates every
+// benchmark of the suite under every named configuration and returns the
+// result matrix. It is the engine behind the figure/ablation experiments
+// and the custom single-config and sweep jobs polyserve accepts — both
+// paths produce bit-identical numbers for the same inputs.
+func RunConfigs(opts Options, configs []NamedConfig) (*Matrix, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("harness: no configurations given")
+	}
+	seen := make(map[string]bool, len(configs))
+	for _, nc := range configs {
+		if nc.Name == "" {
+			return nil, fmt.Errorf("harness: configuration with empty name")
+		}
+		if seen[nc.Name] {
+			return nil, fmt.Errorf("harness: duplicate configuration name %q", nc.Name)
+		}
+		seen[nc.Name] = true
+	}
+	return runMatrix(opts, configs)
+}
+
+// RenderTable renders a matrix as the fixed-width IPC table used by
+// cmd/experiments, so service responses and CLI output are byte-identical.
+func RenderTable(title string, m *Matrix) string {
+	return renderIPCTable(title, m)
 }
 
 // renderIPCTable renders a benchmark x configuration IPC grid with a

@@ -1,0 +1,75 @@
+package harness
+
+// The experiment registry: the single list of named experiments shared by
+// cmd/experiments (CLI) and internal/server (polyserve jobs). Both front
+// ends resolve names here and render through the same Render methods, so a
+// job submitted to the service returns byte-identical text to the CLI.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Renderable is a structured experiment result that can render itself as
+// the paper-style fixed-width text table.
+type Renderable interface{ Render() string }
+
+// Experiment pairs an experiment name with its runner.
+type Experiment struct {
+	Name string
+	Run  func(Options) (Renderable, error)
+}
+
+// Experiments returns the full registry in canonical (presentation) order:
+// Table 1, Figures 8-12, path utilization, the ablations, then the
+// extension studies.
+func Experiments() []Experiment {
+	wrap := func(f func(Options) (*SweepResult, error)) func(Options) (Renderable, error) {
+		return func(o Options) (Renderable, error) { return f(o) }
+	}
+	wrapA := func(f func(Options) (*AblationResult, error)) func(Options) (Renderable, error) {
+		return func(o Options) (Renderable, error) { return f(o) }
+	}
+	return []Experiment{
+		{"table1", func(o Options) (Renderable, error) { return Table1(o) }},
+		{"fig8", func(o Options) (Renderable, error) { return Figure8(o) }},
+		{"fig9", wrap(Figure9)},
+		{"fig10", wrap(Figure10)},
+		{"fig11", wrap(Figure11)},
+		{"fig12", wrap(Figure12)},
+		{"paths", func(o Options) (Renderable, error) { return Paths(o) }},
+		{"abl-jrswidth", wrapA(AblationJRSWidth)},
+		{"abl-ceindex", wrapA(AblationCEIndex)},
+		{"abl-spechistory", wrapA(AblationSpecHistory)},
+		{"abl-adaptive", wrapA(AblationAdaptive)},
+		{"abl-fetchpolicy", wrapA(AblationFetchPolicy)},
+		{"abl-eagerness", wrapA(AblationEagerness)},
+		{"abl-predictors", wrapA(AblationPredictors)},
+		{"abl-resbuses", wrapA(AblationResolutionBuses)},
+		{"abl-mrc", wrapA(AblationMRC)},
+		{"ext-cache", func(o Options) (Renderable, error) { return ExtensionCacheSensitivity(o) }},
+		{"ext-cedesign", func(o Options) (Renderable, error) { return ExtensionCEDesignSpace(o) }},
+	}
+}
+
+// ExperimentNames returns the registered names, sorted.
+func ExperimentNames() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunExperiment resolves a registered experiment by name and runs it.
+func RunExperiment(name string, opts Options) (Renderable, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e.Run(opts)
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q (valid: %s)", name, strings.Join(ExperimentNames(), ", "))
+}

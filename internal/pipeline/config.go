@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/confidence"
+	"repro/internal/ctxtag"
 )
 
 // Mode selects the execution model.
@@ -239,7 +240,9 @@ func DefaultConfig() Config {
 // PipelineDepth returns the total pipeline depth as the paper counts it.
 func (c Config) PipelineDepth() int { return c.FrontEndStages + 3 }
 
-// normalize fills derived defaults and validates.
+// normalize fills derived defaults and validates. Every violation is
+// reported as a *ConfigError; nothing in here (or downstream of a
+// normalized config) panics on user-supplied values.
 func (c Config) normalize() (Config, error) {
 	if c.PhysRegs == 0 {
 		c.PhysRegs = 32 + c.WindowSize + 64
@@ -251,62 +254,157 @@ func (c Config) normalize() (Config, error) {
 		}
 	}
 	switch {
+	case c.Mode != Monopath && c.Mode != PolyPath:
+		return c, cfgErr("Mode", "unknown mode %d", int(c.Mode))
 	case c.FetchWidth < 1 || c.RenameWidth < 1 || c.CommitWidth < 1:
-		return c, fmt.Errorf("pipeline: widths must be positive")
+		return c, cfgErr("FetchWidth/RenameWidth/CommitWidth", "widths must be positive (got %d/%d/%d)", c.FetchWidth, c.RenameWidth, c.CommitWidth)
 	case c.FrontEndStages < 1:
-		return c, fmt.Errorf("pipeline: FrontEndStages must be >= 1")
+		return c, cfgErr("FrontEndStages", "must be >= 1 (got %d)", c.FrontEndStages)
 	case c.WindowSize < 4:
-		return c, fmt.Errorf("pipeline: WindowSize must be >= 4")
+		return c, cfgErr("WindowSize", "must be >= 4 (got %d)", c.WindowSize)
 	case c.NumIntType0 < 1 || c.NumIntType1 < 1 || c.NumFPAdd < 1 || c.NumFPMul < 1 || c.NumMemPorts < 1:
-		return c, fmt.Errorf("pipeline: need at least one functional unit of each type")
+		return c, cfgErr("NumIntType0/NumIntType1/NumFPAdd/NumFPMul/NumMemPorts", "need at least one functional unit of each type")
 	case c.PhysRegs < 32+c.WindowSize:
-		return c, fmt.Errorf("pipeline: PhysRegs %d cannot cover 32 logical + %d window entries", c.PhysRegs, c.WindowSize)
+		return c, cfgErr("PhysRegs", "%d cannot cover 32 logical + %d window entries", c.PhysRegs, c.WindowSize)
 	case c.Checkpoints < 1:
-		return c, fmt.Errorf("pipeline: need at least one checkpoint")
-	case c.CtxHistoryWidth < 1 || c.CtxHistoryWidth > 32:
-		return c, fmt.Errorf("pipeline: CtxHistoryWidth %d out of [1,32]", c.CtxHistoryWidth)
+		return c, cfgErr("Checkpoints", "need at least one checkpoint")
+	case c.CtxHistoryWidth < 1 || c.CtxHistoryWidth > ctxtag.MaxPositions:
+		return c, cfgErr("CtxHistoryWidth", "tag count %d exceeds the CTX-tag encoding capacity [1,%d]", c.CtxHistoryWidth, ctxtag.MaxPositions)
 	case c.MaxPaths < 3:
-		return c, fmt.Errorf("pipeline: MaxPaths must be >= 3 (parent + two children)")
+		return c, cfgErr("MaxPaths", "must be >= 3 (parent + two children), got %d", c.MaxPaths)
+	case c.MaxPaths > 1024:
+		return c, cfgErr("MaxPaths", "%d exceeds the 1024-entry CTX table bound", c.MaxPaths)
 	case c.MaxDivergences < 0:
-		return c, fmt.Errorf("pipeline: MaxDivergences must be >= 0")
+		return c, cfgErr("MaxDivergences", "must be >= 0 (got %d)", c.MaxDivergences)
 	case c.ResolutionBuses < 0:
-		return c, fmt.Errorf("pipeline: ResolutionBuses must be >= 0")
+		return c, cfgErr("ResolutionBuses", "must be >= 0 (got %d)", c.ResolutionBuses)
+	case c.MaxInsts > 1<<40:
+		return c, cfgErr("MaxInsts", "%d exceeds the 2^40 instruction bound", c.MaxInsts)
+	}
+	if err := c.Predictor.validate(); err != nil {
+		return c, err
+	}
+	if err := c.Confidence.validate(); err != nil {
+		return c, err
+	}
+	if c.Predictor.Kind == PredOracle && c.Confidence.Kind == ConfAdaptive {
+		return c, cfgErr("Confidence.Kind", "adaptive (PVN-monitoring) confidence is undefined under the oracle predictor: a perfect predictor never mispredicts, so the monitored PVN has no sample to converge on")
+	}
+	if c.FetchPolicy != FetchExponential && c.FetchPolicy != FetchRoundRobin {
+		return c, cfgErr("FetchPolicy", "unknown policy %d", int(c.FetchPolicy))
 	}
 	if c.BTBBits == 0 {
 		c.BTBBits = 9
 	}
 	if c.BTBBits < 1 || c.BTBBits > 20 {
-		return c, fmt.Errorf("pipeline: BTBBits %d out of [1,20]", c.BTBBits)
+		return c, cfgErr("BTBBits", "%d out of [1,20]", c.BTBBits)
 	}
 	if c.RASDepth == 0 {
 		c.RASDepth = 16
 	}
 	if c.RASDepth < 1 || c.RASDepth > 1024 {
-		return c, fmt.Errorf("pipeline: RASDepth %d out of [1,1024]", c.RASDepth)
+		return c, cfgErr("RASDepth", "%d out of [1,1024]", c.RASDepth)
 	}
 	if c.MRCBits == 0 {
 		c.MRCBits = 8
 	}
 	if c.MRCBits < 1 || c.MRCBits > 16 {
-		return c, fmt.Errorf("pipeline: MRCBits %d out of [1,16]", c.MRCBits)
+		return c, cfgErr("MRCBits", "%d out of [1,16]", c.MRCBits)
 	}
 	if c.EnableDCache {
 		if err := c.DCache.Validate(); err != nil {
-			return c, err
+			return c, &ConfigError{Field: "DCache", Reason: err.Error()}
 		}
 		if c.DCacheMissLatency < 1 {
-			return c, fmt.Errorf("pipeline: DCacheMissLatency must be >= 1")
+			return c, cfgErr("DCacheMissLatency", "must be >= 1 when the D-cache model is enabled")
 		}
+	} else {
+		// The always-hit assumption is in effect: geometry and latency are
+		// inert, so canonicalize them away.
+		c.DCache = cache.Config{}
+		c.DCacheMissLatency = 0
 	}
 	if c.EnableICache {
 		if err := c.ICache.Validate(); err != nil {
-			return c, err
+			return c, &ConfigError{Field: "ICache", Reason: err.Error()}
 		}
 		if c.ICacheMissLatency < 1 {
-			return c, fmt.Errorf("pipeline: ICacheMissLatency must be >= 1")
+			return c, cfgErr("ICacheMissLatency", "must be >= 1 when the I-cache model is enabled")
+		}
+	} else {
+		c.ICache = cache.Config{}
+		c.ICacheMissLatency = 0
+	}
+	if !c.EnableMRC {
+		c.MRCBits = 8 // inert; keep the canonical default
+	}
+	// Canonicalize inert sizing fields so that configurations describing
+	// the same machine normalize (and therefore hash) identically.
+	switch c.Predictor.Kind {
+	case PredStatic, PredOracle:
+		c.Predictor.HistBits = 0
+	}
+	switch c.Confidence.Kind {
+	case ConfOracle, ConfAlwaysHigh, ConfAlwaysLow:
+		c.Confidence = ConfidenceSpec{Kind: c.Confidence.Kind}
+	case ConfJRS:
+		c.Confidence.AdaptiveMinPVN = 0
+		c.Confidence.AdaptiveWindow = 0
+	case ConfAdaptive:
+		if c.Confidence.AdaptiveMinPVN == 0 {
+			c.Confidence.AdaptiveMinPVN = 0.30
+		}
+		if c.Confidence.AdaptiveWindow == 0 {
+			c.Confidence.AdaptiveWindow = 256
 		}
 	}
 	return c, nil
+}
+
+// validate checks the predictor spec against the table-size bounds of the
+// bpred constructors, so construction can never panic on user input.
+func (p PredictorSpec) validate() error {
+	switch p.Kind {
+	case PredGshare, PredBimodal, PredLocal, PredCombining:
+		if p.HistBits < 2 || p.HistBits > 28 {
+			return cfgErr("Predictor.HistBits", "%d out of [2,28] for %s", p.HistBits, p.Kind)
+		}
+	case PredStatic, PredOracle:
+		// History length is inert for these kinds.
+	default:
+		return cfgErr("Predictor.Kind", "unknown predictor kind %d", int(p.Kind))
+	}
+	return nil
+}
+
+// validate checks the confidence spec against the JRS/adaptive constructor
+// bounds (panic-free construction for any validated config).
+func (cs ConfidenceSpec) validate() error {
+	switch cs.Kind {
+	case ConfJRS, ConfAdaptive:
+		if cs.IndexBits < 1 || cs.IndexBits > 28 {
+			return cfgErr("Confidence.IndexBits", "%d out of [1,28]", cs.IndexBits)
+		}
+		if cs.CtrBits < 1 || cs.CtrBits > 8 {
+			return cfgErr("Confidence.CtrBits", "%d out of [1,8]", cs.CtrBits)
+		}
+		if cs.Threshold < 0 || cs.Threshold > (1<<cs.CtrBits)-1 {
+			return cfgErr("Confidence.Threshold", "%d exceeds the %d-bit counter maximum %d (0 selects saturation)", cs.Threshold, cs.CtrBits, (1<<cs.CtrBits)-1)
+		}
+	case ConfOracle, ConfAlwaysHigh, ConfAlwaysLow:
+		// Sizing fields are inert.
+	default:
+		return cfgErr("Confidence.Kind", "unknown confidence kind %d", int(cs.Kind))
+	}
+	if cs.Kind == ConfAdaptive {
+		if cs.AdaptiveMinPVN < 0 || cs.AdaptiveMinPVN >= 1 {
+			return cfgErr("Confidence.AdaptiveMinPVN", "%g out of [0,1) (0 selects the default 0.30)", cs.AdaptiveMinPVN)
+		}
+		if cs.AdaptiveWindow != 0 && cs.AdaptiveWindow < 8 {
+			return cfgErr("Confidence.AdaptiveWindow", "%d must be 0 (default 256) or >= 8", cs.AdaptiveWindow)
+		}
+	}
+	return nil
 }
 
 // buildConfidence constructs the estimator for a spec.

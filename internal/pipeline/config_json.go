@@ -1,0 +1,255 @@
+package pipeline
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// SchemaV1 is the wire-format identifier of the versioned canonical JSON
+// encoding of a Config. Every encoded document carries it in a "schema"
+// field; decoders reject documents with any other (or a missing) schema,
+// so the format can evolve with explicit versioning instead of silent
+// drift.
+const SchemaV1 = "polypath/v1"
+
+// wireCacheV1 mirrors cache.Config with stable field names.
+type wireCacheV1 struct {
+	Sets      int `json:"sets"`
+	Ways      int `json:"ways"`
+	LineWords int `json:"line_words"`
+}
+
+// wirePredictorV1 mirrors PredictorSpec; the kind travels as its canonical
+// spelling.
+type wirePredictorV1 struct {
+	Kind     string `json:"kind"`
+	HistBits int    `json:"hist_bits"`
+}
+
+// wireConfidenceV1 mirrors ConfidenceSpec.
+type wireConfidenceV1 struct {
+	Kind           string  `json:"kind"`
+	IndexBits      int     `json:"index_bits"`
+	CtrBits        int     `json:"ctr_bits"`
+	Threshold      int     `json:"threshold"`
+	EnhancedIndex  bool    `json:"enhanced_index"`
+	AdaptiveMinPVN float64 `json:"adaptive_min_pvn"`
+	AdaptiveWindow int     `json:"adaptive_window"`
+}
+
+// wireConfigV1 is the polypath/v1 wire form of Config. Field names are
+// frozen: renaming or reordering a Go struct field must not change the
+// wire format, and new fields require a schema bump.
+type wireConfigV1 struct {
+	Schema                string           `json:"schema"`
+	Mode                  string           `json:"mode"`
+	FetchWidth            int              `json:"fetch_width"`
+	RenameWidth           int              `json:"rename_width"`
+	CommitWidth           int              `json:"commit_width"`
+	FrontEndStages        int              `json:"front_end_stages"`
+	WindowSize            int              `json:"window_size"`
+	NumIntType0           int              `json:"num_int_type0"`
+	NumIntType1           int              `json:"num_int_type1"`
+	NumFPAdd              int              `json:"num_fp_add"`
+	NumFPMul              int              `json:"num_fp_mul"`
+	NumMemPorts           int              `json:"num_mem_ports"`
+	PhysRegs              int              `json:"phys_regs"`
+	Checkpoints           int              `json:"checkpoints"`
+	CtxHistoryWidth       int              `json:"ctx_history_width"`
+	MaxPaths              int              `json:"max_paths"`
+	MaxDivergences        int              `json:"max_divergences"`
+	Predictor             wirePredictorV1  `json:"predictor"`
+	Confidence            wireConfidenceV1 `json:"confidence"`
+	FetchPolicy           string           `json:"fetch_policy"`
+	EnableDCache          bool             `json:"enable_dcache"`
+	DCache                wireCacheV1      `json:"dcache"`
+	DCacheMissLatency     int              `json:"dcache_miss_latency"`
+	EnableICache          bool             `json:"enable_icache"`
+	ICache                wireCacheV1      `json:"icache"`
+	ICacheMissLatency     int              `json:"icache_miss_latency"`
+	BTBBits               int              `json:"btb_bits"`
+	RASDepth              int              `json:"ras_depth"`
+	EnableMRC             bool             `json:"enable_mrc"`
+	MRCBits               int              `json:"mrc_bits"`
+	ResolutionBuses       int              `json:"resolution_buses"`
+	NonSpeculativeHistory bool             `json:"non_speculative_history"`
+	MaxInsts              uint64           `json:"max_insts"`
+}
+
+// EncodeConfigV1 renders the configuration as canonical polypath/v1 JSON:
+// the config is normalized (derived defaults filled, inert fields zeroed,
+// constraints checked) and encoded with a fixed field order, so two
+// configurations describing the same machine encode byte-identically.
+func EncodeConfigV1(c Config) ([]byte, error) {
+	n, err := c.normalize()
+	if err != nil {
+		return nil, err
+	}
+	w := wireConfigV1{
+		Schema:          SchemaV1,
+		Mode:            modeNames[n.Mode],
+		FetchWidth:      n.FetchWidth,
+		RenameWidth:     n.RenameWidth,
+		CommitWidth:     n.CommitWidth,
+		FrontEndStages:  n.FrontEndStages,
+		WindowSize:      n.WindowSize,
+		NumIntType0:     n.NumIntType0,
+		NumIntType1:     n.NumIntType1,
+		NumFPAdd:        n.NumFPAdd,
+		NumFPMul:        n.NumFPMul,
+		NumMemPorts:     n.NumMemPorts,
+		PhysRegs:        n.PhysRegs,
+		Checkpoints:     n.Checkpoints,
+		CtxHistoryWidth: n.CtxHistoryWidth,
+		MaxPaths:        n.MaxPaths,
+		MaxDivergences:  n.MaxDivergences,
+		Predictor: wirePredictorV1{
+			Kind:     predictorNames[n.Predictor.Kind],
+			HistBits: n.Predictor.HistBits,
+		},
+		Confidence: wireConfidenceV1{
+			Kind:           confidenceNames[n.Confidence.Kind],
+			IndexBits:      n.Confidence.IndexBits,
+			CtrBits:        n.Confidence.CtrBits,
+			Threshold:      n.Confidence.Threshold,
+			EnhancedIndex:  n.Confidence.EnhancedIndex,
+			AdaptiveMinPVN: n.Confidence.AdaptiveMinPVN,
+			AdaptiveWindow: n.Confidence.AdaptiveWindow,
+		},
+		FetchPolicy:           fetchPolicyNames[n.FetchPolicy],
+		EnableDCache:          n.EnableDCache,
+		DCache:                wireCacheV1{n.DCache.Sets, n.DCache.Ways, n.DCache.LineWords},
+		DCacheMissLatency:     n.DCacheMissLatency,
+		EnableICache:          n.EnableICache,
+		ICache:                wireCacheV1{n.ICache.Sets, n.ICache.Ways, n.ICache.LineWords},
+		ICacheMissLatency:     n.ICacheMissLatency,
+		BTBBits:               n.BTBBits,
+		RASDepth:              n.RASDepth,
+		EnableMRC:             n.EnableMRC,
+		MRCBits:               n.MRCBits,
+		ResolutionBuses:       n.ResolutionBuses,
+		NonSpeculativeHistory: n.NonSpeculativeHistory,
+		MaxInsts:              n.MaxInsts,
+	}
+	return json.Marshal(w)
+}
+
+// DecodeConfigV1 parses polypath/v1 JSON into a validated Config. Unknown
+// fields are rejected (a misspelled parameter is an error, never a silent
+// default), the schema field is mandatory, and the decoded machine is
+// validated before it is returned.
+func DecodeConfigV1(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireConfigV1
+	if err := dec.Decode(&w); err != nil {
+		return Config{}, &ConfigError{Field: "json", Reason: err.Error()}
+	}
+	if err := ensureEOF(dec); err != nil {
+		return Config{}, err
+	}
+	if w.Schema != SchemaV1 {
+		return Config{}, cfgErr("schema", "got %q, want %q", w.Schema, SchemaV1)
+	}
+	mode, err := ParseMode(w.Mode)
+	if err != nil {
+		return Config{}, err
+	}
+	pk, err := ParsePredictorKind(w.Predictor.Kind)
+	if err != nil {
+		return Config{}, err
+	}
+	ck, err := ParseConfidenceKind(w.Confidence.Kind)
+	if err != nil {
+		return Config{}, err
+	}
+	fp, err := ParseFetchPolicy(w.FetchPolicy)
+	if err != nil {
+		return Config{}, err
+	}
+	c := Config{
+		Mode:            mode,
+		FetchWidth:      w.FetchWidth,
+		RenameWidth:     w.RenameWidth,
+		CommitWidth:     w.CommitWidth,
+		FrontEndStages:  w.FrontEndStages,
+		WindowSize:      w.WindowSize,
+		NumIntType0:     w.NumIntType0,
+		NumIntType1:     w.NumIntType1,
+		NumFPAdd:        w.NumFPAdd,
+		NumFPMul:        w.NumFPMul,
+		NumMemPorts:     w.NumMemPorts,
+		PhysRegs:        w.PhysRegs,
+		Checkpoints:     w.Checkpoints,
+		CtxHistoryWidth: w.CtxHistoryWidth,
+		MaxPaths:        w.MaxPaths,
+		MaxDivergences:  w.MaxDivergences,
+		Predictor: PredictorSpec{
+			Kind:     pk,
+			HistBits: w.Predictor.HistBits,
+		},
+		Confidence: ConfidenceSpec{
+			Kind:           ck,
+			IndexBits:      w.Confidence.IndexBits,
+			CtrBits:        w.Confidence.CtrBits,
+			Threshold:      w.Confidence.Threshold,
+			EnhancedIndex:  w.Confidence.EnhancedIndex,
+			AdaptiveMinPVN: w.Confidence.AdaptiveMinPVN,
+			AdaptiveWindow: w.Confidence.AdaptiveWindow,
+		},
+		FetchPolicy:           fp,
+		EnableDCache:          w.EnableDCache,
+		DCache:                cache.Config{Sets: w.DCache.Sets, Ways: w.DCache.Ways, LineWords: w.DCache.LineWords},
+		DCacheMissLatency:     w.DCacheMissLatency,
+		EnableICache:          w.EnableICache,
+		ICache:                cache.Config{Sets: w.ICache.Sets, Ways: w.ICache.Ways, LineWords: w.ICache.LineWords},
+		ICacheMissLatency:     w.ICacheMissLatency,
+		BTBBits:               w.BTBBits,
+		RASDepth:              w.RASDepth,
+		EnableMRC:             w.EnableMRC,
+		MRCBits:               w.MRCBits,
+		ResolutionBuses:       w.ResolutionBuses,
+		NonSpeculativeHistory: w.NonSpeculativeHistory,
+		MaxInsts:              w.MaxInsts,
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+func ensureEOF(dec *json.Decoder) error {
+	if dec.More() {
+		return &ConfigError{Field: "json", Reason: "trailing data after config document"}
+	}
+	return nil
+}
+
+// CanonicalHash returns the hex SHA-256 of the canonical polypath/v1
+// encoding of the normalized configuration: the stable identity used to
+// key result memoization. Configurations that normalize identically hash
+// identically, regardless of how they were spelled.
+func CanonicalHash(c Config) (string, error) {
+	blob, err := EncodeConfigV1(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// MustCanonicalHash is CanonicalHash for configurations already known to
+// be valid (e.g. produced by NewConfig); it panics only on a programmer
+// error, never on a user-supplied value that Validate accepts.
+func MustCanonicalHash(c Config) string {
+	h, err := CanonicalHash(c)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: CanonicalHash on invalid config: %v", err))
+	}
+	return h
+}

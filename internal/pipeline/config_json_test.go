@@ -1,0 +1,168 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEncodeConfigV1CarriesSchema(t *testing.T) {
+	blob, err := EncodeConfigV1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["schema"] != SchemaV1 {
+		t.Fatalf("schema = %v, want %q", m["schema"], SchemaV1)
+	}
+}
+
+// TestConfigV1RoundTrip encodes and re-decodes a spread of configurations
+// and requires the normalized forms (and the canonical encodings) to be
+// identical.
+func TestConfigV1RoundTrip(t *testing.T) {
+	cfgs := []Config{DefaultConfig()}
+	c := DefaultConfig()
+	c.Mode = Monopath
+	c.Confidence.Kind = ConfAlwaysHigh
+	cfgs = append(cfgs, c)
+	c = DefaultConfig()
+	c.Predictor = PredictorSpec{Kind: PredCombining, HistBits: 9}
+	c.Confidence = ConfidenceSpec{Kind: ConfAdaptive, IndexBits: 9, CtrBits: 4, Threshold: 8, EnhancedIndex: true}
+	c.MaxDivergences = 1
+	c.ResolutionBuses = 2
+	c.NonSpeculativeHistory = true
+	c.MaxInsts = 123456
+	cfgs = append(cfgs, c)
+
+	for i, cfg := range cfgs {
+		blob, err := EncodeConfigV1(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: encode: %v", i, err)
+		}
+		back, err := DecodeConfigV1(blob)
+		if err != nil {
+			t.Fatalf("cfg %d: decode: %v", i, err)
+		}
+		want, err := cfg.Normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("cfg %d: round-trip changed the normalized config\n got %+v\nwant %+v", i, got, want)
+		}
+		blob2, err := EncodeConfigV1(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Errorf("cfg %d: canonical encoding not stable across a round trip", i)
+		}
+	}
+}
+
+func TestDecodeConfigV1RejectsUnknownFields(t *testing.T) {
+	blob, err := EncodeConfigV1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(blob, []byte(`"mode"`), []byte(`"widow_size":9,"mode"`), 1)
+	_, err = DecodeConfigV1(bad)
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConfigError, got %T (%v)", err, err)
+	}
+	if !strings.Contains(err.Error(), "widow_size") {
+		t.Errorf("error should name the unknown field, got %q", err)
+	}
+}
+
+func TestDecodeConfigV1RejectsWrongSchema(t *testing.T) {
+	blob, err := EncodeConfigV1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, schema := range []string{`"polypath/v2"`, `""`} {
+		bad := bytes.Replace(blob, []byte(`"`+SchemaV1+`"`), []byte(schema), 1)
+		if _, err := DecodeConfigV1(bad); err == nil {
+			t.Errorf("schema %s accepted", schema)
+		}
+	}
+}
+
+func TestDecodeConfigV1RejectsInvalidMachine(t *testing.T) {
+	blob, err := EncodeConfigV1(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(blob, []byte(`"fetch_width":8`), []byte(`"fetch_width":0`), 1)
+	if !bytes.Contains(bad, []byte(`"fetch_width":0`)) {
+		t.Fatal("test fixture: substitution failed")
+	}
+	_, err = DecodeConfigV1(bad)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("invalid machine must yield *ConfigError, got %T (%v)", err, err)
+	}
+}
+
+// TestCanonicalHashNormalizationInvariance: two spellings of the same
+// machine (derived defaults left implicit vs written out; inert sizing
+// fields differing) must hash identically, and a real parameter change
+// must change the hash.
+func TestCanonicalHashNormalizationInvariance(t *testing.T) {
+	a := DefaultConfig() // PhysRegs/Checkpoints implicit (0 = derived)
+	b := DefaultConfig()
+	b.PhysRegs = 32 + b.WindowSize + 64 // written out explicitly
+	b.Checkpoints = b.WindowSize / 4
+	ha, err := CanonicalHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := CanonicalHash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Error("derived-default spelling changed the canonical hash")
+	}
+
+	// Inert confidence sizing under a degenerate estimator.
+	c1 := DefaultConfig()
+	c1.Confidence = ConfidenceSpec{Kind: ConfAlwaysHigh, IndexBits: 11}
+	c2 := DefaultConfig()
+	c2.Confidence = ConfidenceSpec{Kind: ConfAlwaysHigh, IndexBits: 14, CtrBits: 4}
+	h1, _ := CanonicalHash(c1)
+	h2, _ := CanonicalHash(c2)
+	if h1 != h2 {
+		t.Error("inert confidence sizing changed the canonical hash")
+	}
+
+	d := DefaultConfig()
+	d.WindowSize = 128
+	d.PhysRegs, d.Checkpoints = 0, 0
+	hd, _ := CanonicalHash(d)
+	if hd == ha {
+		t.Error("window size change did not change the canonical hash")
+	}
+}
+
+func TestCanonicalHashInvalidConfigErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.WindowSize = 0
+	if _, err := CanonicalHash(bad); err == nil {
+		t.Fatal("invalid config must not hash")
+	}
+}

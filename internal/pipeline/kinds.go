@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the single source of truth for the textual spellings of the
+// configuration enumerations (mode, predictor kind, confidence kind, fetch
+// policy). Every command-line flag and every wire-format field parses and
+// prints through these tables, so a spelling accepted by one tool is
+// accepted by all of them.
+
+var modeNames = map[Mode]string{
+	Monopath: "monopath",
+	PolyPath: "polypath",
+}
+
+var predictorNames = map[PredictorKind]string{
+	PredGshare:    "gshare",
+	PredBimodal:   "bimodal",
+	PredStatic:    "static",
+	PredOracle:    "oracle",
+	PredLocal:     "local",
+	PredCombining: "combining",
+}
+
+var confidenceNames = map[ConfidenceKind]string{
+	ConfJRS:        "jrs",
+	ConfOracle:     "oracle",
+	ConfAlwaysHigh: "always-high",
+	ConfAlwaysLow:  "always-low",
+	ConfAdaptive:   "adaptive",
+}
+
+var fetchPolicyNames = map[FetchPolicy]string{
+	FetchExponential: "exponential",
+	FetchRoundRobin:  "round-robin",
+}
+
+func (k PredictorKind) String() string {
+	if s, ok := predictorNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("predictor(%d)", int(k))
+}
+
+func (k ConfidenceKind) String() string {
+	if s, ok := confidenceNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("confidence(%d)", int(k))
+}
+
+func (p FetchPolicy) String() string {
+	if s, ok := fetchPolicyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("fetchpolicy(%d)", int(p))
+}
+
+// parseKind resolves a case-insensitive spelling against a name table,
+// returning a typed error listing the accepted spellings on failure.
+func parseKind[K comparable](field, s string, names map[K]string) (K, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for k, name := range names {
+		if name == want {
+			return k, nil
+		}
+	}
+	var zero K
+	valid := make([]string, 0, len(names))
+	for _, name := range names {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
+	return zero, &ConfigError{Field: field, Reason: fmt.Sprintf("unknown value %q (valid: %s)", s, strings.Join(valid, ", "))}
+}
+
+// ParseMode parses a mode spelling ("monopath", "polypath").
+func ParseMode(s string) (Mode, error) {
+	return parseKind("Mode", s, modeNames)
+}
+
+// ParsePredictorKind parses a predictor spelling ("gshare", "bimodal",
+// "static", "oracle", "local", "combining").
+func ParsePredictorKind(s string) (PredictorKind, error) {
+	return parseKind("Predictor.Kind", s, predictorNames)
+}
+
+// ParseConfidenceKind parses a confidence-estimator spelling ("jrs",
+// "oracle", "always-high", "always-low", "adaptive").
+func ParseConfidenceKind(s string) (ConfidenceKind, error) {
+	return parseKind("Confidence.Kind", s, confidenceNames)
+}
+
+// ParseFetchPolicy parses a fetch-policy spelling ("exponential",
+// "round-robin").
+func ParseFetchPolicy(s string) (FetchPolicy, error) {
+	return parseKind("FetchPolicy", s, fetchPolicyNames)
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestKindRoundTrips drives every enumerator of every kind through
+// String() and back through its parser, exhaustively: a spelling printed
+// anywhere in the system must parse everywhere in the system.
+func TestKindRoundTrips(t *testing.T) {
+	for k := range predictorNames {
+		got, err := ParsePredictorKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("predictor %v: round-trip got %v, err %v", k, got, err)
+		}
+	}
+	for k := range confidenceNames {
+		got, err := ParseConfidenceKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("confidence %v: round-trip got %v, err %v", k, got, err)
+		}
+	}
+	for m := range modeNames {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("mode %v: round-trip got %v, err %v", m, got, err)
+		}
+	}
+	for p := range fetchPolicyNames {
+		got, err := ParseFetchPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("fetch policy %v: round-trip got %v, err %v", p, got, err)
+		}
+	}
+}
+
+// TestKindTablesExhaustive pins the name tables to the enum definitions:
+// adding an enumerator without a spelling (or vice versa) fails here.
+func TestKindTablesExhaustive(t *testing.T) {
+	if len(predictorNames) != int(PredCombining)+1 {
+		t.Errorf("predictorNames has %d entries, enum has %d", len(predictorNames), int(PredCombining)+1)
+	}
+	if len(confidenceNames) != int(ConfAdaptive)+1 {
+		t.Errorf("confidenceNames has %d entries, enum has %d", len(confidenceNames), int(ConfAdaptive)+1)
+	}
+	if len(modeNames) != int(PolyPath)+1 {
+		t.Errorf("modeNames has %d entries, enum has %d", len(modeNames), int(PolyPath)+1)
+	}
+	if len(fetchPolicyNames) != int(FetchRoundRobin)+1 {
+		t.Errorf("fetchPolicyNames has %d entries, enum has %d", len(fetchPolicyNames), int(FetchRoundRobin)+1)
+	}
+}
+
+func TestParseKindNormalizesSpelling(t *testing.T) {
+	k, err := ParsePredictorKind("  GShare ")
+	if err != nil || k != PredGshare {
+		t.Fatalf("case/space-insensitive parse: got %v, err %v", k, err)
+	}
+}
+
+func TestParseKindUnknownIsTypedAndDescriptive(t *testing.T) {
+	_, err := ParseConfidenceKind("grapefruit")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ConfigError, got %T", err)
+	}
+	if !strings.Contains(err.Error(), "jrs") || !strings.Contains(err.Error(), "adaptive") {
+		t.Errorf("error should list valid spellings, got %q", err)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -501,11 +502,28 @@ func (m *Machine) maybeReclaimZombie(p *path) {
 // Run simulates until the program's Halt commits, MaxInsts instructions
 // commit, or a liveness failure is detected.
 func (m *Machine) Run() error {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every ctxCheckInterval cycles (cheap enough to be invisible in the hot
+// loop), and a cancelled or expired context aborts the simulation with the
+// context's error. A background context adds no per-cycle work.
+func (m *Machine) RunContext(ctx context.Context) error {
 	const stallLimit = 100_000 // cycles without a commit => liveness bug
+	const ctxCheckInterval = 4096
 	lastCommit := m.Stats.Committed
 	stall := uint64(0)
+	done := ctx.Done()
 	for !m.halted {
 		m.step()
+		if done != nil && m.cycle%ctxCheckInterval == 0 {
+			select {
+			case <-done:
+				return fmt.Errorf("pipeline: simulation aborted at cycle %d: %w", m.cycle, ctx.Err())
+			default:
+			}
+		}
 		if m.Stats.Committed == lastCommit {
 			stall++
 			if stall > stallLimit {

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// journalEntry is one JSON line of the drain journal: enough to re-enqueue
+// a still-queued job under its original ID after a restart.
+type journalEntry struct {
+	ID        string     `json:"id"`
+	Request   JobRequest `json:"request"`
+	Submitted time.Time  `json:"submitted_at"`
+}
+
+// writeJournal persists queued jobs as JSON lines, atomically (write to a
+// temp file in the same directory, then rename).
+func writeJournal(path string, jobs []*Job) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, j := range jobs {
+		if err := enc.Encode(journalEntry{ID: j.ID, Request: j.Request, Submitted: j.Submitted}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadJournal re-enqueues jobs journaled by a previous Drain and removes
+// the journal so it is not replayed twice. Jobs whose requests no longer
+// validate (e.g. a tightened server cap) are dropped with a log line
+// rather than failing startup.
+func (s *Server) loadJournal(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return n, fmt.Errorf("line %d: %w", line, err)
+		}
+		configs, err := e.Request.resolve(s.cfg.MaxInsts)
+		if err != nil {
+			s.cfg.Log.Printf("polyserve: dropping journaled job %s: %v", e.ID, err)
+			continue
+		}
+		j := &Job{
+			ID:        e.ID,
+			State:     JobQueued,
+			Request:   e.Request,
+			Submitted: e.Submitted,
+			configs:   configs,
+		}
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		// Keep fresh IDs past the journaled ones.
+		if num, ok := strings.CutPrefix(j.ID, "job-"); ok {
+			if v, err := strconv.ParseUint(num, 10, 64); err == nil && v > s.nextID {
+				s.nextID = v
+			}
+		}
+		s.mu.Unlock()
+		if err := s.sched.submit(j); err != nil {
+			s.mu.Lock()
+			delete(s.jobs, j.ID)
+			s.mu.Unlock()
+			s.cfg.Log.Printf("polyserve: dropping journaled job %s: %v", e.ID, err)
+			continue
+		}
+		s.svc.JobsSubmitted.Add(1)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, os.Remove(path)
+}

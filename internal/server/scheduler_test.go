@@ -1,0 +1,84 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerFIFOAndBackpressure saturates a 1-worker/2-slot scheduler
+// and checks FIFO order, queue-full rejection, and drain handing back the
+// still-queued jobs.
+func TestSchedulerFIFOAndBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	s := newScheduler(1, 2, func(j *Job) {
+		mu.Lock()
+		order = append(order, j.ID)
+		mu.Unlock()
+		<-release
+	})
+
+	j1, j2, j3, j4 := &Job{ID: "a"}, &Job{ID: "b"}, &Job{ID: "c"}, &Job{ID: "d"}
+	if err := s.submit(j1); err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	waitFor(t, func() bool { q, r := s.depth(); return r == 1 && q == 0 })
+
+	if err := s.submit(j2); err != nil {
+		t.Fatalf("submit b: %v", err)
+	}
+	if err := s.submit(j3); err != nil {
+		t.Fatalf("submit c: %v", err)
+	}
+	if err := s.submit(j4); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit d: got %v, want ErrQueueFull", err)
+	}
+
+	// Cancel b out of the queue; c should run next after a finishes.
+	if !s.remove(j2) {
+		t.Fatal("remove(b) = false, want true")
+	}
+	if s.remove(j2) {
+		t.Fatal("second remove(b) = true, want false")
+	}
+
+	done := make(chan []*Job, 1)
+	go func() { done <- s.drain() }()
+	// Drain must wait for the running job; release both potential runs.
+	close(release)
+	left := <-done
+
+	// After the drain broadcast, the worker exits without picking up c, or
+	// it picked c just before draining was set. Either way nothing is lost:
+	// order + leftovers must cover {a} and {c} exactly.
+	mu.Lock()
+	got := append([]string{}, order...)
+	mu.Unlock()
+	for _, l := range left {
+		got = append(got, l.ID)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("ran+leftover = %v, want [a c]", got)
+	}
+
+	if err := s.submit(&Job{ID: "e"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: got %v, want ErrDraining", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	// Generous deadline: under -race, non-cancellable setup (workload
+	// generation) can hold a job in the running state for several seconds.
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 60s")
+}

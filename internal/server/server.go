@@ -1,0 +1,480 @@
+// Package server implements polyserve, a long-running HTTP/JSON
+// simulation service over the PolyPath experiment harness.
+//
+// Jobs (a registered experiment or a custom configuration sweep) are
+// submitted to POST /v1/jobs, run FIFO on a bounded worker pool, and
+// polled via GET /v1/jobs/{id}; the rendered table — byte-identical to
+// cmd/experiments output for the same request — is served by
+// GET /v1/results/{id}. Per-cell results are memoized in an LRU keyed by
+// the canonical polypath/v1 config hash plus workload identity, so
+// resubmitting a sweep replays bit-identical metrics without simulating.
+// When the queue is full, submissions are rejected with 429 and a
+// Retry-After hint (backpressure). Drain lets in-flight jobs finish and
+// journals still-queued jobs to disk for resumption on restart.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent jobs (default 1: jobs already
+	// parallelize across cells internally).
+	Workers int
+	// QueueCapacity bounds the FIFO backlog (default 16).
+	QueueCapacity int
+	// CacheCells caps the per-cell memoization LRU (default 4096 entries;
+	// 0 disables caching).
+	CacheCells int
+	// SimParallelism bounds concurrent simulations within one job
+	// (0 = GOMAXPROCS).
+	SimParallelism int
+	// DefaultTimeout caps a job's wall time when the request does not
+	// set timeout_sec (0 = no cap).
+	DefaultTimeout time.Duration
+	// MaxInsts bounds the per-benchmark dynamic length a client may
+	// request (0 = unbounded).
+	MaxInsts uint64
+	// JournalPath is where queued jobs are persisted on Drain and loaded
+	// from on New (empty = no journaling).
+	JournalPath string
+	// Log receives service events (nil = log.Default).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueCapacity < 1 {
+		c.QueueCapacity = 16
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the polyserve service. Create with New, mount via Handler,
+// shut down with Drain.
+type Server struct {
+	cfg   Config
+	sched *scheduler
+	svc   stats.Service
+	memo  *cache.LRU[harness.MemoValue]
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID uint64
+}
+
+// New builds a Server and, if cfg.JournalPath names a journal written by
+// a previous Drain, re-enqueues the jobs recorded there.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, jobs: make(map[string]*Job)}
+	if cfg.CacheCells > 0 {
+		s.memo = cache.NewLRU[harness.MemoValue](cfg.CacheCells)
+	}
+	s.sched = newScheduler(cfg.Workers, cfg.QueueCapacity, s.runJob)
+	if cfg.JournalPath != "" {
+		n, err := s.loadJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: journal %s: %w", cfg.JournalPath, err)
+		}
+		if n > 0 {
+			cfg.Log.Printf("polyserve: resumed %d journaled job(s) from %s", n, cfg.JournalPath)
+		}
+	}
+	return s, nil
+}
+
+// Drain stops accepting jobs, waits for in-flight jobs to finish, and
+// journals still-queued jobs to cfg.JournalPath (if set) so a restarted
+// server picks them up. It returns the number of journaled jobs.
+func (s *Server) Drain() (int, error) {
+	left := s.sched.drain()
+	if len(left) == 0 || s.cfg.JournalPath == "" {
+		return 0, nil
+	}
+	if err := writeJournal(s.cfg.JournalPath, left); err != nil {
+		return 0, err
+	}
+	return len(left), nil
+}
+
+// Stats returns a point-in-time service snapshot (the /v1/stats body).
+func (s *Server) Stats() Snapshot {
+	queued, running := s.sched.depth()
+	snap := Snapshot{
+		ServiceSnapshot: s.svc.Snapshot(),
+		QueueDepth:      queued,
+		RunningJobs:     running,
+		QueueCapacity:   s.cfg.QueueCapacity,
+	}
+	if s.memo != nil {
+		hits, misses := s.memo.Stats()
+		snap.CacheEntries = s.memo.Len()
+		snap.CacheHits = hits
+		snap.CacheMisses = misses
+		if hits+misses > 0 {
+			snap.CacheHitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	return snap
+}
+
+// Snapshot is the /v1/stats response body.
+type Snapshot struct {
+	stats.ServiceSnapshot
+	QueueDepth    int     `json:"queue_depth"`
+	RunningJobs   int     `json:"running_jobs"`
+	QueueCapacity int     `json:"queue_capacity"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// Handler mounts the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// Submit validates a request and enqueues it, returning the new job.
+// Validation failures are *RequestError (HTTP 400); a full queue is
+// ErrQueueFull and a draining server ErrDraining.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	configs, err := req.resolve(s.cfg.MaxInsts)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	j := &Job{
+		State:     JobQueued,
+		Request:   req,
+		Submitted: time.Now().UTC(),
+		configs:   configs,
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.ID = fmt.Sprintf("job-%06d", s.nextID)
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+
+	if err := s.sched.submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.svc.JobsRejected.Add(1)
+		}
+		return nil, err
+	}
+	s.svc.JobsSubmitted.Add(1)
+	return j, nil
+}
+
+// RequestError marks a client (HTTP 400) error.
+type RequestError struct{ Err error }
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// Job returns a snapshot copy of the job (false if unknown).
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Cancel cancels a queued or running job. It returns false when the job
+// is unknown and an error when it has already finished.
+func (s *Server) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, nil
+	}
+	switch j.State {
+	case JobQueued:
+		// Pull it out of the FIFO before it starts. If the race is lost
+		// (a worker grabbed it between checks), fall through to the
+		// running case on the next attempt by the client.
+		if s.sched.remove(j) {
+			now := time.Now().UTC()
+			j.State = JobCancelled
+			j.Finished = &now
+			s.svc.JobsCancelled.Add(1)
+			s.mu.Unlock()
+			return true, nil
+		}
+		s.mu.Unlock()
+		return true, fmt.Errorf("job %s is starting; retry cancellation", id)
+	case JobRunning:
+		cancel := j.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true, nil
+	default:
+		s.mu.Unlock()
+		return true, fmt.Errorf("job %s already %s", id, j.State)
+	}
+}
+
+// runJob executes one job on a scheduler worker.
+func (s *Server) runJob(j *Job) {
+	ctx := context.Background()
+	timeout := s.cfg.DefaultTimeout
+	if j.Request.TimeoutSec > 0 {
+		timeout = time.Duration(j.Request.TimeoutSec) * time.Second
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	now := time.Now().UTC()
+	s.mu.Lock()
+	j.State = JobRunning
+	j.Started = &now
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	var cells, cacheHits int
+	var simInsts uint64
+	var cellMu sync.Mutex
+	opts := harness.Options{
+		TargetInsts: j.Request.Insts,
+		Benchmarks:  j.Request.Benchmarks,
+		Replicates:  j.Request.Replicates,
+		Parallelism: s.cfg.SimParallelism,
+		Context:     ctx,
+		OnCell: func(ev harness.CellEvent) {
+			cellMu.Lock()
+			cells++
+			if ev.FromCache {
+				cacheHits++
+			}
+			simInsts += ev.Committed
+			cellMu.Unlock()
+			if ev.FromCache {
+				s.svc.CellsFromCache.Add(1)
+			} else {
+				s.svc.CellsSimulated.Add(1)
+				s.svc.SimInsts.Add(ev.Committed)
+				s.svc.SimNanos.Add(int64(ev.Elapsed))
+			}
+		},
+	}
+	if s.memo != nil {
+		opts.Memo = s.memo
+	}
+
+	text, err := s.render(j, opts)
+
+	finished := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Finished = &finished
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.State = JobDone
+		j.Result = &JobResult{Text: text, Cells: cells, CacheHits: cacheHits, SimInsts: simInsts}
+		s.svc.JobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.State = JobCancelled
+		j.Error = "cancelled"
+		s.svc.JobsCancelled.Add(1)
+	default:
+		j.State = JobFailed
+		j.Error = err.Error()
+		s.svc.JobsFailed.Add(1)
+	}
+	s.cfg.Log.Printf("polyserve: %s %s (%s) in %s", j.ID, j.State, j.describe(), finished.Sub(now).Round(time.Millisecond))
+}
+
+func (j *Job) describe() string {
+	if j.Request.Experiment != "" {
+		return "experiment " + j.Request.Experiment
+	}
+	return fmt.Sprintf("sweep of %d config(s)", len(j.Request.Configs))
+}
+
+// render produces the job's table text, byte-identical to what
+// cmd/experiments prints (sans the "=== name (Xs) ===" header) for the
+// same experiment and options.
+func (s *Server) render(j *Job, opts harness.Options) (string, error) {
+	if j.Request.Experiment != "" {
+		r, err := harness.RunExperiment(j.Request.Experiment, opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}
+	m, err := harness.RunConfigs(opts, j.configs)
+	if err != nil {
+		return "", err
+	}
+	return harness.RenderTable(j.Request.title(), m), nil
+}
+
+// ---- HTTP layer ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		var cfgErr *pipeline.ConfigError
+		switch {
+		case errors.As(err, &cfgErr), errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrQueueFull):
+			// Backpressure: tell the client when to come back. The hint
+			// scales with the backlog; precision is not required.
+			w.Header().Set("Retry-After", strconv.Itoa(2*s.cfg.QueueCapacity))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	snap, _ := s.Job(j.ID)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		list = append(list, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, k int) bool { return list[i].ID < list[k].ID })
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ok, err := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state JobState
+	var res *JobResult
+	var jobErr string
+	if ok {
+		state, res, jobErr = j.State, j.Result, j.Error
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	switch state {
+	case JobDone:
+		writeJSON(w, http.StatusOK, res)
+	case JobFailed, JobCancelled:
+		writeError(w, http.StatusGone, fmt.Errorf("job %s %s: %s", id, state, jobErr))
+	default:
+		// Not finished yet: poll again shortly.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusAccepted, fmt.Errorf("job %s is %s", id, state))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

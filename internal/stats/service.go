@@ -1,0 +1,60 @@
+package stats
+
+import "sync/atomic"
+
+// Service accumulates the operational counters of a long-running
+// simulation service (polyserve): job lifecycle counts, memoization
+// effectiveness, and aggregate simulation throughput. All fields are
+// updated with atomics so the hot path (worker goroutines reporting
+// per-cell completions) never contends on a lock.
+type Service struct {
+	JobsSubmitted atomic.Uint64
+	JobsCompleted atomic.Uint64
+	JobsFailed    atomic.Uint64
+	JobsCancelled atomic.Uint64
+	JobsRejected  atomic.Uint64 // backpressure: queue-full rejections
+
+	CellsSimulated atomic.Uint64 // (benchmark, config, replicate) cells actually run
+	CellsFromCache atomic.Uint64 // cells served from the memoization cache
+
+	SimInsts atomic.Uint64 // committed instructions across all simulated cells
+	SimNanos atomic.Int64  // wall nanoseconds spent inside simulations
+}
+
+// ServiceSnapshot is a consistent-enough point-in-time copy of the
+// counters, shaped for the /v1/stats JSON response.
+type ServiceSnapshot struct {
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+
+	CellsSimulated uint64 `json:"cells_simulated"`
+	CellsFromCache uint64 `json:"cells_from_cache"`
+
+	SimInsts       uint64  `json:"sim_insts"`
+	SimWallSeconds float64 `json:"sim_wall_seconds"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+}
+
+// Snapshot reads every counter and derives the throughput figures.
+func (s *Service) Snapshot() ServiceSnapshot {
+	insts := s.SimInsts.Load()
+	nanos := s.SimNanos.Load()
+	snap := ServiceSnapshot{
+		JobsSubmitted:  s.JobsSubmitted.Load(),
+		JobsCompleted:  s.JobsCompleted.Load(),
+		JobsFailed:     s.JobsFailed.Load(),
+		JobsCancelled:  s.JobsCancelled.Load(),
+		JobsRejected:   s.JobsRejected.Load(),
+		CellsSimulated: s.CellsSimulated.Load(),
+		CellsFromCache: s.CellsFromCache.Load(),
+		SimInsts:       insts,
+		SimWallSeconds: float64(nanos) / 1e9,
+	}
+	if nanos > 0 {
+		snap.SimInstsPerSec = float64(insts) / (float64(nanos) / 1e9)
+	}
+	return snap
+}

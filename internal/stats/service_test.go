@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestServiceSnapshot(t *testing.T) {
+	var s Service
+	s.JobsSubmitted.Add(3)
+	s.JobsCompleted.Add(2)
+	s.JobsRejected.Add(1)
+	s.CellsSimulated.Add(10)
+	s.CellsFromCache.Add(5)
+	s.SimInsts.Add(4_000_000)
+	s.SimNanos.Add(2_000_000_000) // 2s
+
+	snap := s.Snapshot()
+	if snap.JobsSubmitted != 3 || snap.JobsCompleted != 2 || snap.JobsRejected != 1 {
+		t.Errorf("job counters wrong: %+v", snap)
+	}
+	if snap.SimWallSeconds != 2.0 {
+		t.Errorf("SimWallSeconds = %g, want 2", snap.SimWallSeconds)
+	}
+	if snap.SimInstsPerSec != 2_000_000 {
+		t.Errorf("SimInstsPerSec = %g, want 2e6", snap.SimInstsPerSec)
+	}
+}
+
+func TestServiceZeroSnapshot(t *testing.T) {
+	var s Service
+	snap := s.Snapshot()
+	if snap.SimInstsPerSec != 0 {
+		t.Error("zero service must report zero throughput, not NaN")
+	}
+}
+
+func TestServiceConcurrentUpdates(t *testing.T) {
+	var s Service
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.CellsSimulated.Add(1)
+				s.SimInsts.Add(100)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.CellsSimulated.Load(); got != 8000 {
+		t.Errorf("CellsSimulated = %d, want 8000", got)
+	}
+}

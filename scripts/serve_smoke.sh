@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the polyserve service.
+#
+# Boots polyserve on a local port, submits the table1 experiment (compress
+# only, 50k instructions) through the HTTP API, polls it to completion, and
+# checks that:
+#   1. the service's rendered table is byte-identical to cmd/experiments
+#      output for the same experiment and options, and
+#   2. resubmitting the same job is served from the memoization cache
+#      (observed via the /v1/stats hit counter),
+# then shuts the server down with SIGTERM and expects a clean drain.
+set -euo pipefail
+
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}/v1"
+WORKDIR="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+cd "$(dirname "$0")/.."
+
+echo "== building =="
+go build -o "$WORKDIR/polyserve" ./cmd/polyserve
+go build -o "$WORKDIR/experiments" ./cmd/experiments
+
+echo "== starting polyserve on :$PORT =="
+"$WORKDIR/polyserve" -addr "127.0.0.1:$PORT" -journal "$WORKDIR/polyserve.journal" &
+SERVER_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "server did not come up" >&2; exit 1; fi
+    sleep 0.2
+done
+echo "healthz ok"
+
+REQ='{"experiment":"table1","benchmarks":["compress"],"insts":50000}'
+
+submit_and_wait() {
+    local id
+    id=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+    [ -n "$id" ] || { echo "no job id in submit response" >&2; exit 1; }
+    for i in $(seq 1 300); do
+        state=$(curl -fsS "$BASE/jobs/$id" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+        case "$state" in
+            done) echo "$id"; return 0 ;;
+            failed|cancelled) echo "job $id $state" >&2; exit 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job $id did not finish" >&2
+    exit 1
+}
+
+echo "== cold run through the service =="
+ID1=$(submit_and_wait)
+curl -fsS "$BASE/results/$ID1" | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["text"])' > "$WORKDIR/served.txt"
+
+echo "== same experiment through cmd/experiments =="
+"$WORKDIR/experiments" -exp table1 -bench compress -insts 50000 > "$WORKDIR/cli-raw.txt"
+# Strip the CLI's "=== name (X.Xs) ===" header and trailing blank line; the
+# remaining bytes are the experiment's rendered table.
+sed '1d;$d' "$WORKDIR/cli-raw.txt" > "$WORKDIR/cli.txt"
+
+if ! diff -u "$WORKDIR/cli.txt" "$WORKDIR/served.txt"; then
+    echo "FAIL: service output differs from cmd/experiments" >&2
+    exit 1
+fi
+echo "byte-identical to cmd/experiments"
+
+echo "== warm run must hit the cache =="
+ID2=$(submit_and_wait)
+STATS=$(curl -fsS "$BASE/stats")
+HITS=$(echo "$STATS" | sed -n 's/.*"cache_hits": \([0-9]*\).*/\1/p')
+if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
+    echo "FAIL: expected cache hits after resubmission; stats: $STATS" >&2
+    exit 1
+fi
+echo "cache hits: $HITS"
+
+echo "== graceful shutdown =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+unset SERVER_PID
+
+echo "PASS: polyserve smoke"
