@@ -2,7 +2,7 @@ GO ?= go
 INSTS ?= 400000
 BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke clean
 
 all: build
 
@@ -51,6 +51,13 @@ experiments:
 # memoization cache, and drains the server with SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# chaos-smoke is the robustness gate: injected micro-architectural faults
+# must surface as typed machine checks, audit-off output must match the
+# committed golden table, polyserve must survive repeated worker panics
+# (quarantining the offender), and a torn journal must recover on restart.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -29,9 +30,15 @@ func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	par := flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
 	reps := flag.Int("reps", 0, "workload-seed replicates averaged per cell (0/1 = single run)")
+	audit := flag.String("audit", "off", "invariant-audit level: off, commit, cycle (results are identical at every level)")
 	flag.Parse()
 
-	opts := harness.Options{TargetInsts: *insts, Parallelism: *par, Replicates: *reps}
+	auditLevel, err := pipeline.ParseAuditLevel(*audit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	opts := harness.Options{TargetInsts: *insts, Parallelism: *par, Replicates: *reps, Audit: auditLevel}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/internal/server"
 )
 
@@ -34,9 +35,20 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-job wall-time cap (0 = none)")
 	maxInsts := flag.Uint64("maxinsts", 0, "per-benchmark instruction cap clients may request (0 = unbounded)")
 	journal := flag.String("journal", "polyserve.journal", "queued-job journal written on drain (empty = disable)")
+	audit := flag.String("audit", "off", "invariant-audit level for every simulation: off, commit, cycle")
+	crashThreshold := flag.Int("crash-threshold", 3, "contained worker crashes before a request signature is quarantined")
+	chaosPanic := flag.String("chaos-panic", "", "chaos testing only: panic the worker on jobs whose title contains this string")
 	flag.Parse()
 
+	auditLevel, err := pipeline.ParseAuditLevel(*audit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyserve:", err)
+		os.Exit(2)
+	}
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *chaosPanic != "" {
+		logger.Printf("polyserve: CHAOS MODE: worker panics on job titles containing %q", *chaosPanic)
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueCapacity:  *queue,
@@ -45,6 +57,9 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxInsts:       *maxInsts,
 		JournalPath:    *journal,
+		Audit:          auditLevel,
+		CrashThreshold: *crashThreshold,
+		ChaosPanic:     *chaosPanic,
 		Log:            logger,
 	})
 	if err != nil {

@@ -40,6 +40,7 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the generated program and exit")
 	mix := flag.Bool("mix", false, "print the dynamic instruction mix and exit")
 	trace := flag.Uint64("trace", 0, "collect and print pipeline timelines for the first N instructions")
+	audit := flag.String("audit", "off", "invariant-audit level: off, commit, cycle (results are identical at every level)")
 	flag.Parse()
 
 	var prog *isa.Program
@@ -87,6 +88,8 @@ func main() {
 	// The validated constructor turns any invalid flag combination into a
 	// descriptive typed error instead of a downstream panic.
 	cfg, err := pipeline.NewConfigFrom(base, mods...)
+	fail(err)
+	cfg.Audit, err = pipeline.ParseAuditLevel(*audit)
 	fail(err)
 
 	var pt *pipeline.PipeTrace

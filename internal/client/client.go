@@ -1,0 +1,292 @@
+// Package client is the Go client for polyserve's /v1 API with built-in
+// retry handling: transient failures (connection errors, 429 backpressure,
+// 5xx) are retried with capped exponential backoff and full jitter, and a
+// server-provided Retry-After hint overrides the computed delay. Client
+// errors (400, 403 quarantine, 404) are never retried — they are returned
+// as *APIError so callers can branch on the status code.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one polyserve instance. The zero value is not usable;
+// create with New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080" (no /v1).
+	BaseURL string
+	// HTTP is the underlying HTTP client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per call, first attempt included (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); Delay for
+	// attempt n is min(BaseDelay<<n, MaxDelay) scaled by jitter in [½,1).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 5s).
+	MaxDelay time.Duration
+
+	// Sleep and Jitter are injection points for tests: Sleep pauses between
+	// attempts (default time.Sleep honoring ctx) and Jitter returns a
+	// uniform value in [0,1) (default math/rand).
+	Sleep  func(ctx context.Context, d time.Duration) error
+	Jitter func() float64
+}
+
+// New returns a client for the polyserve instance at baseURL with the
+// default retry policy.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-retryable response from the server (4xx, or a 5xx that
+// outlived the retry budget).
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // the server's error text
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("polyserve: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsQuarantined reports whether err is the server refusing a request whose
+// signature crashed repeatedly (HTTP 403).
+func IsQuarantined(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusForbidden
+}
+
+// errText extracts the server's JSON error message, falling back to the
+// HTTP status line for non-JSON bodies.
+func errText(data []byte, fallback string) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return fallback
+}
+
+// Submit posts a job request and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.Job, error) {
+	var j server.Job
+	body, err := json.Marshal(req)
+	if err != nil {
+		return j, err
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, http.StatusAccepted, &j)
+	return j, err
+}
+
+// Job fetches the current view of a job.
+func (c *Client) Job(ctx context.Context, id string) (server.Job, error) {
+	var j server.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, http.StatusOK, &j)
+	return j, err
+}
+
+// Wait polls until the job leaves the queued/running states (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string) (server.Job, error) {
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		if j.State != server.JobQueued && j.State != server.JobRunning {
+			return j, nil
+		}
+		if err := c.sleep(ctx, 100*time.Millisecond); err != nil {
+			return j, err
+		}
+	}
+}
+
+// Result fetches a finished job's rendered result.
+func (c *Client) Result(ctx context.Context, id string) (server.JobResult, error) {
+	var res server.JobResult
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+id, nil, http.StatusOK, &res)
+	return res, err
+}
+
+// Run submits a request and waits for its result.
+func (c *Client) Run(ctx context.Context, req server.JobRequest) (server.JobResult, error) {
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		return server.JobResult{}, err
+	}
+	j, err = c.Wait(ctx, j.ID)
+	if err != nil {
+		return server.JobResult{}, err
+	}
+	if j.State != server.JobDone {
+		return server.JobResult{}, fmt.Errorf("polyserve: job %s %s: %s", j.ID, j.State, j.Error)
+	}
+	return c.Result(ctx, j.ID)
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (server.Snapshot, error) {
+	var snap server.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, http.StatusOK, &snap)
+	return snap, err
+}
+
+// Quarantine fetches the crash-quarantine list.
+func (c *Client) Quarantine(ctx context.Context) ([]server.QuarantineEntry, error) {
+	var entries []server.QuarantineEntry
+	err := c.do(ctx, http.MethodGet, "/v1/quarantine", nil, http.StatusOK, &entries)
+	return entries, err
+}
+
+// Healthz probes the server's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	var body map[string]string
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, http.StatusOK, &body)
+}
+
+// do issues one API call with the retry policy and decodes the wanted
+// response into out.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, want int, out any) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	attempts := c.MaxAttempts
+	if attempts < 1 {
+		attempts = 5
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return err
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // connection-level failure: retry
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == want {
+			if out == nil || len(data) == 0 {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		apiErr := &APIError{Status: resp.StatusCode, Message: errText(data, resp.Status)}
+		if !retryable(resp.StatusCode) {
+			return apiErr
+		}
+		lastErr = &retryAfterError{err: apiErr, after: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	}
+	if ra, ok := lastErr.(*retryAfterError); ok {
+		return ra.err
+	}
+	return fmt.Errorf("polyserve: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)
+}
+
+// retryable reports whether a status is worth another attempt: 429
+// (backpressure — the server asked us to come back) and 5xx (transient
+// server trouble, including 503 while draining).
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// retryAfterError carries the server's Retry-After hint to the backoff.
+type retryAfterError struct {
+	err   *APIError
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// backoff computes the sleep before the attempt-th try (attempt >= 1):
+// capped exponential growth with full jitter, overridden by a larger
+// server-provided Retry-After hint.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > maxd || d <= 0 { // <= 0 catches shift overflow
+		d = maxd
+	}
+	jitter := c.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	// Full jitter in [½d, d): desynchronizes a fleet of retrying clients
+	// without ever collapsing the delay to ~0.
+	d = d/2 + time.Duration(jitter()*float64(d/2))
+	if ra, ok := lastErr.(*retryAfterError); ok && ra.after > d {
+		d = ra.after
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header (seconds form only).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep pauses for d, honoring ctx cancellation and the test hook.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

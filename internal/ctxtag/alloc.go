@@ -26,6 +26,13 @@ func NewAllocator(width int) *Allocator {
 // Width returns the number of history positions managed.
 func (a *Allocator) Width() int { return a.width }
 
+// Allocated reports whether history position pos is currently owned by an
+// in-flight branch. Out-of-range positions report false, so invariant
+// auditors can probe corrupted tag bits safely.
+func (a *Allocator) Allocated(pos int) bool {
+	return pos >= 0 && pos < a.width && a.used&(1<<uint(pos)) != 0
+}
+
 // InUse returns how many positions are currently allocated.
 func (a *Allocator) InUse() int {
 	n := 0

@@ -1,0 +1,83 @@
+// Package faultinject is the deterministic, seeded chaos layer for the
+// PolyPath simulator and its serving stack. It drives two fault surfaces:
+//
+//   - Micro-architectural faults: the pipeline's build-tag-free hooks
+//     (pipeline.SetFaultHook / pipeline.InjectFault) flip bits in rename
+//     structures, drop wakeup broadcasts, desynchronize the free list, and
+//     corrupt CTX tags. Under per-cycle auditing every injected fault
+//     surfaces as a typed *pipeline.MachineCheckError.
+//
+//   - I/O faults: writer wrappers and file mutilators that model torn
+//     writes, transient write failures and stalled disks, used to harden
+//     the polyserve drain journal's CRC + truncation recovery.
+//
+// Everything is seeded: the same seed produces the same fault at the same
+// cycle (or byte offset), so every chaos-test failure replays exactly.
+package faultinject
+
+import (
+	"math/rand"
+
+	"repro/internal/pipeline"
+)
+
+// Plan describes one scheduled micro-architectural fault.
+type Plan struct {
+	Kind pipeline.Fault
+	// AfterCycle is the first cycle at which injection is attempted; the
+	// injector retries every cycle until a victim in the right state exists.
+	AfterCycle uint64
+	// Arg seeds victim selection inside the pipeline's injection primitive.
+	Arg uint64
+}
+
+// Injector arms one planned fault on a machine and records whether it
+// landed.
+type Injector struct {
+	plan     Plan
+	injected bool
+}
+
+// NewInjector derives a fault plan from seed: the fault kind, the cycle
+// window and the victim-selection argument are all pseudo-random but fully
+// determined by the seed.
+func NewInjector(seed int64) *Injector {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []pipeline.Fault{
+		pipeline.FaultRenameBitFlip,
+		pipeline.FaultRenameMapFlip,
+		pipeline.FaultDropWakeup,
+		pipeline.FaultFreeListFlip,
+		pipeline.FaultCtxTagFlip,
+	}
+	return &Injector{plan: Plan{
+		Kind:       kinds[rng.Intn(len(kinds))],
+		AfterCycle: uint64(20 + rng.Intn(200)),
+		Arg:        rng.Uint64(),
+	}}
+}
+
+// NewPlannedInjector arms an explicit plan (for table-driven chaos tests).
+func NewPlannedInjector(p Plan) *Injector { return &Injector{plan: p} }
+
+// Plan returns the armed fault plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Arm installs the injector's per-cycle hook on m. From AfterCycle on, the
+// fault is attempted every cycle (victim selection varies with the cycle
+// number, deterministically): a landed fault is normally detected the same
+// cycle under per-cycle auditing, but a victim can be squashed between
+// injection and the end-of-cycle sweep — a benign landing — so the
+// injector keeps firing until the machine check stops the run.
+func (in *Injector) Arm(m *pipeline.Machine) {
+	m.SetFaultHook(func(cycle uint64) {
+		if cycle >= in.plan.AfterCycle {
+			if m.InjectFault(in.plan.Kind, in.plan.Arg+cycle) {
+				in.injected = true
+			}
+		}
+	})
+}
+
+// Injected reports whether the planned fault actually landed.
+func (in *Injector) Injected() bool { return in.injected }

@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"time"
+)
+
+// ErrInjected is the sentinel failure returned by the faulty writers.
+var ErrInjected = errors.New("faultinject: injected I/O failure")
+
+// TornWriter models a torn write: it passes bytes through until Limit is
+// reached, silently truncating the write that crosses the limit and
+// failing every write after it — the observable behavior of a crash or
+// power loss mid-write. A journal written through a TornWriter ends with a
+// partial record, which the loader's CRC/truncation recovery must absorb.
+type TornWriter struct {
+	W       io.Writer
+	Limit   int // total bytes allowed through
+	written int
+	torn    bool
+}
+
+// Write implements io.Writer with the tearing behavior described above.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	if t.torn {
+		return 0, ErrInjected
+	}
+	remain := t.Limit - t.written
+	if len(p) <= remain {
+		n, err := t.W.Write(p)
+		t.written += n
+		return n, err
+	}
+	t.torn = true
+	if remain > 0 {
+		n, err := t.W.Write(p[:remain])
+		t.written += n
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+// Torn reports whether the tear point has been reached.
+func (t *TornWriter) Torn() bool { return t.torn }
+
+// FlakyWriter fails transiently: the first Failures writes return
+// ErrInjected without writing anything, then the writer heals. Retry loops
+// (the polyserve client, the journal writer) must survive this.
+type FlakyWriter struct {
+	W        io.Writer
+	Failures int
+	attempts int
+}
+
+// Write implements io.Writer, failing the first Failures calls.
+func (f *FlakyWriter) Write(p []byte) (int, error) {
+	f.attempts++
+	if f.attempts <= f.Failures {
+		return 0, ErrInjected
+	}
+	return f.W.Write(p)
+}
+
+// Attempts returns how many writes were attempted (including failed ones).
+func (f *FlakyWriter) Attempts() int { return f.attempts }
+
+// SlowWriter delays every write by Delay, modeling a stalled disk or a
+// saturated volume. It never fails; it exists to shake out timeout and
+// drain-deadline handling.
+type SlowWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer with the configured per-call delay.
+func (s *SlowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.Delay)
+	return s.W.Write(p)
+}
+
+// TruncateFile chops the file to n bytes, simulating the on-disk result of
+// a torn write discovered after restart.
+func TruncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// FlipBit flips one bit of the byte at offset in the file, simulating
+// at-rest corruption that a per-record CRC must catch.
+func FlipBit(path string, offset int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], offset)
+	return err
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -80,6 +81,11 @@ type Options struct {
 	// OnCell, when non-nil, observes every completed cell (including
 	// cache hits). It may be called concurrently from worker goroutines.
 	OnCell func(CellEvent)
+	// Audit, when not AuditOff, overrides the invariant-audit level of
+	// every simulated configuration. Auditing is excluded from the
+	// canonical config hash (it cannot change results), so memoized cells
+	// are shared across audit levels.
+	Audit pipeline.AuditLevel
 }
 
 func (o Options) context() context.Context {
@@ -299,6 +305,16 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
+			// Containment of last resort: a panic in a cell (outside the
+			// pipeline's own machine-check containment) fails the cell, not
+			// the process.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("%s/%s: cell panic: %v\n%s", j.bench, j.nc.Name, r, debug.Stack()))
+					mu.Unlock()
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if err := ctx.Err(); err != nil {
@@ -318,7 +334,11 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 				val, fromCache = opts.Memo.Get(key)
 			}
 			if !fromCache {
-				res, err := core.RunContext(ctx, j.prog, j.nc.Cfg)
+				cfg := j.nc.Cfg
+				if opts.Audit != pipeline.AuditOff {
+					cfg.Audit = opts.Audit
+				}
+				res, err := core.RunContext(ctx, j.prog, cfg)
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))

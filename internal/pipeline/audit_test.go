@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// auditConfigs returns machine variants that exercise every major
+// micro-architectural mechanism the auditor sweeps: monopath recovery,
+// selective eager execution, dual-path, deep divergence trees, and the
+// cache/MRC extensions.
+func auditConfigs() map[string]Config {
+	mono := DefaultConfig()
+	mono.Mode = Monopath
+	mono.Confidence.Kind = ConfAlwaysHigh
+
+	see := DefaultConfig()
+
+	dual := DefaultConfig()
+	dual.MaxDivergences = 1
+
+	small := DefaultConfig()
+	small.WindowSize = 32
+	small.PhysRegs = 80
+	small.Checkpoints = 8
+	small.MaxPaths = 4
+	small.CtxHistoryWidth = 3
+
+	caches := DefaultConfig()
+	caches.EnableDCache = true
+	caches.DCache = cache.Config{Sets: 32, Ways: 2, LineWords: 8}
+	caches.DCacheMissLatency = 12
+	caches.EnableICache = true
+	caches.ICache = cache.Config{Sets: 64, Ways: 2, LineWords: 8}
+	caches.ICacheMissLatency = 12
+	caches.EnableMRC = true
+
+	return map[string]Config{
+		"monopath": mono,
+		"see":      see,
+		"dualpath": dual,
+		"small":    small,
+		"caches":   caches,
+	}
+}
+
+// TestAuditCleanAcrossConfigs runs the per-cycle invariant sweep against
+// healthy machines of every flavor: the auditor must stay silent and the
+// architectural contract must hold.
+func TestAuditCleanAcrossConfigs(t *testing.T) {
+	prog := sumProgram(300)
+	for name, cfg := range auditConfigs() {
+		cfg.Audit = AuditCycle
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("%s: audit tripped on a healthy machine: %v", name, err)
+		}
+		if err := m.VerifyArchState(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestAuditCleanRandomPrograms fuzzes the auditor against random control
+// flow (calls, returns, indirect jumps, loops cut by MaxInsts).
+func TestAuditCleanRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 6; i++ {
+		prog := randomProgram(rng, 120)
+		cfg := DefaultConfig()
+		cfg.MaxInsts = 20_000
+		cfg.Audit = AuditCycle
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("program %d: audit tripped on a healthy machine: %v", i, err)
+		}
+	}
+}
+
+// TestAuditLevelsBitIdentical verifies the central auditing contract:
+// the audit level observes, never perturbs — every simulated statistic is
+// identical across off/commit/cycle.
+func TestAuditLevelsBitIdentical(t *testing.T) {
+	prog := sumProgram(400)
+	type key struct {
+		cycles, committed, mispred, killed uint64
+		divergences                        uint64
+		forwards                           uint64
+	}
+	var got [3]key
+	for i, lvl := range []AuditLevel{AuditOff, AuditCommit, AuditCycle} {
+		cfg := DefaultConfig()
+		cfg.Audit = lvl
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("audit=%s: %v", lvl, err)
+		}
+		got[i] = key{
+			cycles:      m.Stats.Cycles,
+			committed:   m.Stats.Committed,
+			mispred:     m.Stats.Mispredicts,
+			killed:      m.Stats.Killed,
+			divergences: m.Stats.Divergences,
+			forwards:    m.Stats.StoreForwards,
+		}
+	}
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Fatalf("audit level changed results: off=%+v commit=%+v cycle=%+v", got[0], got[1], got[2])
+	}
+}
+
+// TestInjectedFaultsYieldMachineChecks injects each micro-architectural
+// fault kind into a running machine under per-cycle auditing and requires a
+// typed *MachineCheckError — never a process-killing panic, never a
+// silently wrong result.
+func TestInjectedFaultsYieldMachineChecks(t *testing.T) {
+	kinds := []Fault{FaultRenameBitFlip, FaultRenameMapFlip, FaultDropWakeup, FaultFreeListFlip, FaultCtxTagFlip}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Audit = AuditCycle
+			m, err := New(sumProgram(400), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := false
+			m.SetFaultHook(func(cycle uint64) {
+				if !injected && cycle >= 50 {
+					injected = m.InjectFault(kind, cycle*2654435761)
+				}
+			})
+			err = m.Run()
+			if !injected {
+				t.Fatalf("fault %s never found an injection victim", kind)
+			}
+			var mce *MachineCheckError
+			if !errors.As(err, &mce) {
+				t.Fatalf("fault %s: want *MachineCheckError, got %v", kind, err)
+			}
+			if mce.Cycle == 0 || mce.Snapshot.Cycle == 0 {
+				t.Fatalf("fault %s: machine check missing cycle context: %+v", kind, mce)
+			}
+			if mce.Check == "" || mce.Detail == "" {
+				t.Fatalf("fault %s: machine check missing check/detail: %+v", kind, mce)
+			}
+		})
+	}
+}
+
+// TestForeignPanicContained verifies that an arbitrary panic on the cycle
+// loop (not a raised machine check) is converted into a *MachineCheckError
+// carrying the crashing stack, instead of escaping to the caller.
+func TestForeignPanicContained(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(sumProgram(50), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultHook(func(cycle uint64) {
+		if cycle == 10 {
+			panic("injected chaos")
+		}
+	})
+	err = m.Run()
+	var mce *MachineCheckError
+	if !errors.As(err, &mce) {
+		t.Fatalf("want contained *MachineCheckError, got %v", err)
+	}
+	if mce.Check != "panic" {
+		t.Fatalf("want check=panic, got %q", mce.Check)
+	}
+	if !strings.Contains(mce.Detail, "injected chaos") {
+		t.Fatalf("detail lost the panic value: %q", mce.Detail)
+	}
+	if mce.Stack == "" {
+		t.Fatal("contained panic lost its stack trace")
+	}
+}
+
+// TestParseAuditLevel covers the flag-parsing surface.
+func TestParseAuditLevel(t *testing.T) {
+	for in, want := range map[string]AuditLevel{
+		"":       AuditOff,
+		"off":    AuditOff,
+		"commit": AuditCommit,
+		"Cycle":  AuditCycle,
+		" cycle": AuditCycle,
+	} {
+		got, err := ParseAuditLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseAuditLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAuditLevel("paranoid"); err == nil {
+		t.Fatal("ParseAuditLevel accepted an unknown level")
+	}
+	if s := AuditCommit.String(); s != "commit" {
+		t.Fatalf("AuditCommit.String() = %q", s)
+	}
+}
+
+// TestAuditExcludedFromCanonicalHash pins the memoization contract: configs
+// differing only in audit level share one canonical identity, because
+// auditing cannot change results.
+func TestAuditExcludedFromCanonicalHash(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.Audit = AuditCycle
+	ha, err := CanonicalHash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := CanonicalHash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("audit level leaked into the canonical config hash")
+	}
+	bad := DefaultConfig()
+	bad.WindowSize = -1
+	if _, err := CanonicalHash(bad); err == nil {
+		t.Fatal("CanonicalHash accepted an invalid config")
+	}
+}

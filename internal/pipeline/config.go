@@ -189,6 +189,12 @@ type Config struct {
 
 	// MaxInsts bounds committed instructions (0 = run to Halt).
 	MaxInsts uint64
+
+	// Audit selects machine-check invariant auditing (off/commit/cycle;
+	// see machinecheck.go and audit.go). Auditing is a runtime diagnostic
+	// knob: it never changes simulated results, so it is excluded from the
+	// polypath/v1 wire format and from the canonical config hash.
+	Audit AuditLevel
 }
 
 // FetchPolicy selects how live paths share fetch bandwidth.
@@ -280,6 +286,8 @@ func (c Config) normalize() (Config, error) {
 		return c, cfgErr("ResolutionBuses", "must be >= 0 (got %d)", c.ResolutionBuses)
 	case c.MaxInsts > 1<<40:
 		return c, cfgErr("MaxInsts", "%d exceeds the 2^40 instruction bound", c.MaxInsts)
+	case c.Audit != AuditOff && c.Audit != AuditCommit && c.Audit != AuditCycle:
+		return c, cfgErr("Audit", "unknown audit level %d", int(c.Audit))
 	}
 	if err := c.Predictor.validate(); err != nil {
 		return c, err

@@ -5,7 +5,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
 
 	"repro/internal/cache"
 )
@@ -233,7 +232,13 @@ func ensureEOF(dec *json.Decoder) error {
 // CanonicalHash returns the hex SHA-256 of the canonical polypath/v1
 // encoding of the normalized configuration: the stable identity used to
 // key result memoization. Configurations that normalize identically hash
-// identically, regardless of how they were spelled.
+// identically, regardless of how they were spelled. An invalid config is
+// reported as a *ConfigError, never a panic; there is deliberately no
+// panicking Must variant, so every caller handles the error.
+//
+// Audit is a runtime diagnostic knob that cannot change results, so it is
+// not part of the wire encoding: configs differing only in audit level
+// hash identically and share memoized results.
 func CanonicalHash(c Config) (string, error) {
 	blob, err := EncodeConfigV1(c)
 	if err != nil {
@@ -241,15 +246,4 @@ func CanonicalHash(c Config) (string, error) {
 	}
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:]), nil
-}
-
-// MustCanonicalHash is CanonicalHash for configurations already known to
-// be valid (e.g. produced by NewConfig); it panics only on a programmer
-// error, never on a user-supplied value that Validate accepts.
-func MustCanonicalHash(c Config) string {
-	h, err := CanonicalHash(c)
-	if err != nil {
-		panic(fmt.Sprintf("pipeline: CanonicalHash on invalid config: %v", err))
-	}
-	return h
 }

@@ -199,7 +199,7 @@ func (m *Machine) issueLoad(e *entry, stores []*entry) (issued, forwarded bool) 
 // schedule queues e's writeback lat cycles from now.
 func (m *Machine) schedule(e *entry, lat int) {
 	if lat >= len(m.ring) {
-		panic(fmt.Sprintf("pipeline: latency %d exceeds completion ring size %d", lat, len(m.ring)))
+		m.machineCheckf("completion-ring", e.pc, "latency %d exceeds completion ring size %d", lat, len(m.ring))
 	}
 	slot := (m.cycle + uint64(lat)) % uint64(len(m.ring))
 	m.ring[slot] = append(m.ring[slot], e)
@@ -511,7 +511,7 @@ func (m *Machine) commitEntry(e *entry) {
 
 func (m *Machine) commitBranch(e *entry) {
 	if !e.resolved {
-		panic(fmt.Sprintf("pipeline: committing unresolved branch at pc %d", e.pc))
+		m.machineCheckf("rob-order", e.pc, "committing unresolved branch seq %d", e.seq)
 	}
 	// Only architecturally-correct branches reach commit, so this is the
 	// pollution-free training point for the predictor and the estimator.
@@ -542,7 +542,7 @@ func (m *Machine) commitBranch(e *entry) {
 	// stream must agree with the reference execution.
 	if e.onTrace && e.traceIdx < len(m.trace) {
 		if r := m.trace[e.traceIdx]; !r.Indirect && r.Taken != e.outcome {
-			panic(fmt.Sprintf("pipeline: committed branch at pc %d disagrees with reference trace", e.pc))
+			m.machineCheckf("trace-divergence", e.pc, "committed branch disagrees with reference trace (got taken=%v)", e.outcome)
 		}
 	}
 
@@ -606,7 +606,7 @@ func (m *Machine) recoverIndirect(e *entry) {
 // and accounts statistics.
 func (m *Machine) commitIndirect(e *entry) {
 	if !e.resolved {
-		panic(fmt.Sprintf("pipeline: committing unresolved indirect jump at pc %d", e.pc))
+		m.machineCheckf("rob-order", e.pc, "committing unresolved indirect jump seq %d", e.seq)
 	}
 	if !e.isRet {
 		m.btb.Update(e.pc, e.actualTarget)
@@ -617,7 +617,7 @@ func (m *Machine) commitIndirect(e *entry) {
 	}
 	if e.onTrace && e.traceIdx < len(m.trace) {
 		if r := m.trace[e.traceIdx]; r.Indirect && int(r.Target) != e.actualTarget {
-			panic(fmt.Sprintf("pipeline: committed indirect jump at pc %d disagrees with reference trace", e.pc))
+			m.machineCheckf("trace-divergence", e.pc, "committed indirect jump disagrees with reference trace (got target %d, want %d)", e.actualTarget, int(r.Target))
 		}
 	}
 }

@@ -118,7 +118,7 @@ func (m *Machine) renameOne(f *finst) bool {
 		if !ok {
 			// Cannot happen: availability checked above, and the branch
 			// path allocates no registers in between.
-			panic("pipeline: free list raced")
+			m.machineCheckf("free-list", f.pc, "free list exhausted after availability check (raced)")
 		}
 		e.hasDest = true
 		e.dstPhys = np

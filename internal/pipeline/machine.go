@@ -225,6 +225,13 @@ type Machine struct {
 	halted  bool
 	archGHR uint64 // commit-time global history (non-speculative ablation)
 	tracer  Tracer
+	// faultHook, when set, is called at the top of every cycle; it is the
+	// deterministic fault-injection surface (fault.go).
+	faultHook func(cycle uint64)
+	// auditInts/auditBools are scratch buffers for the invariant auditor
+	// (audit.go), allocated on first sweep and reused.
+	auditInts  []int
+	auditBools []bool
 	// hasCallRet is true when the program contains Call/Ret instructions;
 	// when false, the per-branch RAS snapshot machinery is skipped
 	// entirely (a measurable win on branch-heavy workloads).
@@ -470,7 +477,8 @@ func (m *Machine) newPath(tag ctxtag.Tag, fetchPC int, ghr uint64, onTrace bool,
 			return np
 		}
 	}
-	panic("pipeline: newPath with no free slot")
+	m.machineCheckf("ctx-refcount", fetchPC, "newPath with no free CTX slot (%d live of %d)", m.livePaths, len(m.paths))
+	return nil
 }
 
 func (m *Machine) freePathSlots() int {
@@ -509,7 +517,13 @@ func (m *Machine) Run() error {
 // every ctxCheckInterval cycles (cheap enough to be invisible in the hot
 // loop), and a cancelled or expired context aborts the simulation with the
 // context's error. A background context adds no per-cycle work.
-func (m *Machine) RunContext(ctx context.Context) error {
+//
+// Internal corruption — a violated invariant caught by the auditor, a
+// bookkeeping panic in the pipeline or its resource managers — never
+// escapes as a panic: it is contained and returned as a *MachineCheckError
+// (see machinecheck.go). The machine must be abandoned after such an error.
+func (m *Machine) RunContext(ctx context.Context) (err error) {
+	defer func() { m.containMachineCheck(recover(), &err) }()
 	const stallLimit = 100_000 // cycles without a commit => liveness bug
 	const ctxCheckInterval = 4096
 	lastCommit := m.Stats.Committed
@@ -544,16 +558,25 @@ func (m *Machine) RunContext(ctx context.Context) error {
 func (m *Machine) step() {
 	m.cycle++
 	m.Stats.Cycles++
-	m.commit()
-	if m.halted {
-		return
+	if m.faultHook != nil {
+		m.faultHook(m.cycle)
 	}
-	m.writeback()
-	m.issue()
-	m.rename()
-	m.advanceFrontEnd()
-	m.fetch()
-	m.sample()
+	committedBefore := m.Stats.Committed
+	m.commit()
+	if !m.halted {
+		m.writeback()
+		m.issue()
+		m.rename()
+		m.advanceFrontEnd()
+		m.fetch()
+		m.sample()
+	}
+	// The invariant sweep runs at end-of-cycle, when the stages have reached
+	// their inter-cycle fixed point (and also after the halting cycle, as a
+	// final-state sweep).
+	if m.cfg.Audit == AuditCycle || (m.cfg.Audit == AuditCommit && m.Stats.Committed != committedBefore) {
+		m.runAudit()
+	}
 }
 
 func (m *Machine) sample() {

@@ -112,6 +112,55 @@ func (fl *FreeList) Total() int { return fl.total }
 // InUse returns the number of allocated physical registers.
 func (fl *FreeList) InUse() int { return fl.total - len(fl.free) }
 
+// IsAllocated reports whether physical register p is currently allocated.
+// Out-of-range registers report false (a corrupted reference, not a panic),
+// so invariant auditors can probe suspect values safely.
+func (fl *FreeList) IsAllocated(p PhysReg) bool {
+	return int(p) < fl.total && fl.inUse[p]
+}
+
+// AuditConsistency cross-checks the free stack against the allocation
+// bitmap: every stacked register must be marked free, no register may
+// appear twice, and the stack must account for every unallocated register.
+// A non-nil error means the free list has been corrupted (e.g. by a
+// hardware-style bit flip) and the machine's rename state cannot be
+// trusted.
+func (fl *FreeList) AuditConsistency() error {
+	seen := make([]bool, fl.total)
+	for _, p := range fl.free {
+		if int(p) >= fl.total {
+			return fmt.Errorf("rename: free list holds out-of-range register %d (total %d)", p, fl.total)
+		}
+		if fl.inUse[p] {
+			return fmt.Errorf("rename: register %d is both on the free list and marked in use", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("rename: register %d appears twice on the free list", p)
+		}
+		seen[p] = true
+	}
+	freeMarked := 0
+	for p := 0; p < fl.total; p++ {
+		if !fl.inUse[p] {
+			freeMarked++
+		}
+	}
+	if freeMarked != len(fl.free) {
+		return fmt.Errorf("rename: %d registers marked free but %d on the free list", freeMarked, len(fl.free))
+	}
+	return nil
+}
+
+// FlipInUse toggles the allocation bit of physical register p without
+// touching the free stack, desynchronizing the two structures. It exists
+// for deterministic fault injection (internal/faultinject) and must never
+// be called on a machine whose results matter.
+func (fl *FreeList) FlipInUse(p PhysReg) {
+	if int(p) < fl.total {
+		fl.inUse[p] = !fl.inUse[p]
+	}
+}
+
 // Checkpoints is a bounded pool of register-map checkpoints. The number of
 // checkpoints limits the number of unresolved branches in flight, exactly
 // as in the paper's monopath description (Sec. 3.1).
@@ -177,3 +226,20 @@ func (c *Checkpoints) Available() int { return len(c.free) }
 
 // Capacity returns the total number of slots.
 func (c *Checkpoints) Capacity() int { return len(c.slots) }
+
+// Used reports whether slot id currently holds a live checkpoint.
+// Out-of-range ids report false.
+func (c *Checkpoints) Used(id int) bool {
+	return id >= 0 && id < len(c.slots) && c.slots[id].used
+}
+
+// ForEachUsed calls fn for every live checkpoint slot with a read-only view
+// of its captured map. Invariant auditors use this to verify that every
+// register a checkpoint can restore is still allocated.
+func (c *Checkpoints) ForEachUsed(fn func(id int, mp *Map)) {
+	for i := range c.slots {
+		if c.slots[i].used {
+			fn(i, &c.slots[i].mp)
+		}
+	}
+}

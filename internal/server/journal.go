@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -11,16 +12,45 @@ import (
 	"time"
 )
 
-// journalEntry is one JSON line of the drain journal: enough to re-enqueue
-// a still-queued job under its original ID after a restart.
+// The drain journal is a line-oriented file, one record per still-queued
+// job. Each record is
+//
+//	<crc32-ieee, 8 lowercase hex digits> <space> <json> <newline>
+//
+// where the checksum covers exactly the JSON bytes. The CRC turns two
+// failure modes into detectable, recoverable events instead of lost or
+// corrupted jobs:
+//
+//   - A torn write (crash or power loss mid-record) leaves a final line
+//     whose checksum cannot match; the loader drops that tail and resumes
+//     every intact record before it.
+//   - Bit rot or manual edits anywhere in the file fail that record's
+//     checksum; the loader drops the record, counts it in the
+//     journal_dropped stat, and keeps going — a damaged journal never
+//     fails startup.
+//
+// Journals written before the checksum existed (lines starting with '{')
+// are still accepted, without integrity protection.
+
+// journalEntry is the JSON payload of one record: enough to re-enqueue a
+// still-queued job under its original ID after a restart.
 type journalEntry struct {
 	ID        string     `json:"id"`
 	Request   JobRequest `json:"request"`
 	Submitted time.Time  `json:"submitted_at"`
 }
 
-// writeJournal persists queued jobs as JSON lines, atomically (write to a
-// temp file in the same directory, then rename).
+// appendJournalRecord formats one checksummed record.
+func appendJournalRecord(dst []byte, payload []byte) []byte {
+	dst = fmt.Appendf(dst, "%08x ", crc32.ChecksumIEEE(payload))
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// writeJournal persists queued jobs as checksummed records, atomically:
+// write to a temp file in the same directory, fsync, then rename, so a
+// crash during Drain leaves either the old journal or the complete new
+// one — never a half-written file under the journal's name.
 func writeJournal(path string, jobs []*Job) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
 	if err != nil {
@@ -28,14 +58,22 @@ func writeJournal(path string, jobs []*Job) error {
 	}
 	defer os.Remove(tmp.Name())
 	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
 	for _, j := range jobs {
-		if err := enc.Encode(journalEntry{ID: j.ID, Request: j.Request, Submitted: j.Submitted}); err != nil {
+		payload, err := json.Marshal(journalEntry{ID: j.ID, Request: j.Request, Submitted: j.Submitted})
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := w.Write(appendJournalRecord(nil, payload)); err != nil {
 			tmp.Close()
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -45,10 +83,32 @@ func writeJournal(path string, jobs []*Job) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// parseJournalLine validates one journal line and returns its JSON
+// payload. Legacy records (bare JSON, no checksum) are accepted.
+func parseJournalLine(line []byte) ([]byte, error) {
+	if len(line) > 0 && line[0] == '{' {
+		return line, nil // pre-checksum journal
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("malformed record (no checksum prefix)")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum %q", line[:8])
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, fmt.Errorf("checksum mismatch (want %08x, got %08x): torn or corrupt record", want, got)
+	}
+	return payload, nil
+}
+
 // loadJournal re-enqueues jobs journaled by a previous Drain and removes
-// the journal so it is not replayed twice. Jobs whose requests no longer
-// validate (e.g. a tightened server cap) are dropped with a log line
-// rather than failing startup.
+// the journal so it is not replayed twice. Damaged content never fails
+// startup: records that are torn, corrupt, unparseable, no longer valid
+// under the current server caps, or unsubmittable are dropped with a log
+// line and counted in journal_dropped; each resumed job counts in
+// journal_resumed.
 func (s *Server) loadJournal(path string) (int, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -60,19 +120,32 @@ func (s *Server) loadJournal(path string) (int, error) {
 	defer f.Close()
 
 	n := 0
+	drop := func(line int, id string, why error) {
+		s.svc.JournalDropped.Add(1)
+		if id != "" {
+			id = " (job " + id + ")"
+		}
+		s.cfg.Log.Printf("polyserve: journal line %d%s dropped: %v", line, id, why)
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for line := 1; sc.Scan(); line++ {
 		if strings.TrimSpace(sc.Text()) == "" {
 			continue
 		}
+		payload, err := parseJournalLine(sc.Bytes())
+		if err != nil {
+			drop(line, "", err)
+			continue
+		}
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return n, fmt.Errorf("line %d: %w", line, err)
+		if err := json.Unmarshal(payload, &e); err != nil {
+			drop(line, "", err)
+			continue
 		}
 		configs, err := e.Request.resolve(s.cfg.MaxInsts)
 		if err != nil {
-			s.cfg.Log.Printf("polyserve: dropping journaled job %s: %v", e.ID, err)
+			drop(line, e.ID, err)
 			continue
 		}
 		j := &Job{
@@ -95,10 +168,11 @@ func (s *Server) loadJournal(path string) (int, error) {
 			s.mu.Lock()
 			delete(s.jobs, j.ID)
 			s.mu.Unlock()
-			s.cfg.Log.Printf("polyserve: dropping journaled job %s: %v", e.ID, err)
+			drop(line, e.ID, err)
 			continue
 		}
 		s.svc.JobsSubmitted.Add(1)
+		s.svc.JournalResumed.Add(1)
 		n++
 	}
 	if err := sc.Err(); err != nil {

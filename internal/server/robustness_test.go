@@ -1,0 +1,321 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosBody is a valid request whose title carries the chaos-panic trigger;
+// identical bodies share one crash signature.
+const chaosBody = `{"configs":[{"name":"mono","model":"monopath"}],"title":"boom sweep (IPC)","benchmarks":["compress"],"insts":10000}`
+
+// TestWorkerPanicContainedAndQuarantined crashes the worker three times
+// with the same request and checks: every crash fails only its own job
+// (the process and other requests keep working), the fourth submission is
+// refused with 403, and /v1/quarantine reports the offender.
+func TestWorkerPanicContainedAndQuarantined(t *testing.T) {
+	_, ts := newTestServer(t, Config{ChaosPanic: "boom", CrashThreshold: 3})
+
+	for i := 1; i <= 3; i++ {
+		j := submitAndWait(t, ts, chaosBody)
+		if j.State != JobFailed {
+			t.Fatalf("crash %d: state %s (%s), want failed", i, j.State, j.Error)
+		}
+		if !strings.Contains(j.Error, "worker panic") {
+			t.Fatalf("crash %d: error %q does not mention the contained panic", i, j.Error)
+		}
+		// The process must have survived the panic.
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz after crash %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz after crash %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// The fourth submission of the same request is quarantined.
+	resp, data := post(t, ts, chaosBody)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("quarantined submit: status %d, want 403; body: %s", resp.StatusCode, data)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err != nil || !strings.Contains(eb.Error, "quarantine") {
+		t.Fatalf("403 body %s does not mention quarantine", data)
+	}
+
+	// A different (healthy) request still runs to completion.
+	ok := submitAndWait(t, ts, `{"configs":[{"name":"mono","model":"monopath"}],"benchmarks":["compress"],"insts":10000}`)
+	if ok.State != JobDone {
+		t.Fatalf("healthy job after quarantine: state %s (%s)", ok.State, ok.Error)
+	}
+
+	// The quarantine list names the offender.
+	qresp, err := http.Get(ts.URL + "/v1/quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	var entries []QuarantineEntry
+	if err := json.NewDecoder(qresp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("quarantine list has %d entries, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if !e.Quarantined || e.Crashes != 3 || !strings.Contains(e.LastError, "worker panic") {
+		t.Fatalf("quarantine entry: %+v", e)
+	}
+
+	snap := getStats(t, ts)
+	if snap.WorkerPanics != 3 || snap.JobsQuarantined != 1 || snap.JobsFailed != 3 {
+		t.Fatalf("stats: worker_panics=%d jobs_quarantined=%d jobs_failed=%d, want 3/1/3",
+			snap.WorkerPanics, snap.JobsQuarantined, snap.JobsFailed)
+	}
+}
+
+// TestQuarantineSignatures pins the signature semantics: equal requests
+// share a crash budget, different requests do not.
+func TestQuarantineSignatures(t *testing.T) {
+	q := newQuarantine(2)
+	a := JobRequest{Experiment: "fig8", Insts: 10000}
+	b := JobRequest{Experiment: "table1", Insts: 10000}
+	now := time.Unix(1700000000, 0)
+
+	if _, tipped := q.recordCrash(a, "a", "boom", now); tipped {
+		t.Fatal("first crash must not quarantine at threshold 2")
+	}
+	if _, bad := q.check(a); bad {
+		t.Fatal("one crash below threshold must not quarantine")
+	}
+	if _, tipped := q.recordCrash(a, "a", "boom", now.Add(time.Second)); !tipped {
+		t.Fatal("second crash must tip the threshold")
+	}
+	if _, bad := q.check(a); !bad {
+		t.Fatal("request a should be quarantined")
+	}
+	if _, bad := q.check(b); bad {
+		t.Fatal("request b never crashed and must not be quarantined")
+	}
+	if _, tipped := q.recordCrash(a, "a", "boom", now.Add(2*time.Second)); tipped {
+		t.Fatal("already-quarantined entries must not re-tip")
+	}
+	if got := q.list(); len(got) != 1 || got[0].Crashes != 3 {
+		t.Fatalf("list: %+v", got)
+	}
+}
+
+// journalRecord marshals a journal entry for a valid one-config request.
+func journalRecord(t *testing.T, id string) []byte {
+	t.Helper()
+	payload, err := json.Marshal(journalEntry{
+		ID: id,
+		Request: JobRequest{
+			Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+			Benchmarks: []string{"compress"},
+			Insts:      10000,
+		},
+		Submitted: time.Unix(1700000000, 0).UTC(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestJournalCorruptionRecovery loads a journal containing intact records,
+// a bit-rotted record, a torn tail, and a legacy (pre-checksum) record.
+// The damaged records are dropped and counted; everything intact resumes.
+func TestJournalCorruptionRecovery(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "polyserve.journal")
+
+	good1 := appendJournalRecord(nil, journalRecord(t, "job-000001"))
+	good2 := appendJournalRecord(nil, journalRecord(t, "job-000002"))
+	legacy := append(journalRecord(t, "job-000003"), '\n') // pre-checksum format
+	rotten := appendJournalRecord(nil, journalRecord(t, "job-000004"))
+	rotten[20] ^= 0x40 // flip one payload bit; the checksum no longer matches
+	torn := appendJournalRecord(nil, journalRecord(t, "job-000005"))
+	torn = torn[:len(torn)/2] // write cut off mid-record, no newline
+
+	var blob []byte
+	for _, rec := range [][]byte{good1, good2, legacy, rotten, torn} {
+		blob = append(blob, rec...)
+	}
+	if err := os.WriteFile(journal, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A server whose worker blocks, so resumed jobs stay visibly queued.
+	s := &Server{cfg: Config{QueueCapacity: 8, JournalPath: journal, Log: testLogger(t)}.withDefaults(), jobs: make(map[string]*Job)}
+	release := make(chan struct{})
+	s.sched = newScheduler(1, 8, func(j *Job) { <-release })
+	defer func() { close(release); s.sched.drain() }()
+
+	n, err := s.loadJournal(journal)
+	if err != nil {
+		t.Fatalf("loadJournal must survive corruption, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("resumed %d jobs, want 3 (two checksummed + one legacy)", n)
+	}
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		if _, ok := s.Job(id); !ok {
+			t.Fatalf("intact record %s was not resumed", id)
+		}
+	}
+	for _, id := range []string{"job-000004", "job-000005"} {
+		if _, ok := s.Job(id); ok {
+			t.Fatalf("damaged record %s must not be resumed", id)
+		}
+	}
+	if got := s.svc.JournalResumed.Load(); got != 3 {
+		t.Fatalf("journal_resumed = %d, want 3", got)
+	}
+	if got := s.svc.JournalDropped.Load(); got != 2 {
+		t.Fatalf("journal_dropped = %d, want 2", got)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Fatalf("journal still exists after load (err=%v)", err)
+	}
+}
+
+// TestJournalRoundTripWithChecksums checks writeJournal output parses
+// record-for-record through the loader's line parser.
+func TestJournalRoundTripWithChecksums(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "polyserve.journal")
+	jobs := []*Job{
+		{ID: "job-000007", Request: JobRequest{Experiment: "fig8"}, Submitted: time.Unix(1700000000, 0).UTC()},
+		{ID: "job-000008", Request: JobRequest{Experiment: "table1"}, Submitted: time.Unix(1700000100, 0).UTC()},
+	}
+	if err := writeJournal(journal, jobs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		payload, err := parseJournalLine([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		var e journalEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if e.ID != jobs[i].ID {
+			t.Fatalf("line %d: ID %s, want %s", i+1, e.ID, jobs[i].ID)
+		}
+	}
+}
+
+// TestDrainRacesWorkerPanic drains the server while a chaos job is
+// panicking in the worker and others sit in the queue: every job must end
+// up either failed (panic contained mid-drain) or journaled — never lost.
+func TestDrainRacesWorkerPanic(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "polyserve.journal")
+	s, err := New(Config{
+		Workers:       1,
+		QueueCapacity: 8,
+		JournalPath:   journal,
+		ChaosPanic:    "boom",
+		Log:           testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One chaos job that will panic in the worker, plus queued jobs the
+	// drain must journal.
+	var ids []string
+	crash, err := s.Submit(JobRequest{
+		Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+		Title:      "boom sweep (IPC)",
+		Benchmarks: []string{"compress"},
+		Insts:      10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, crash.ID)
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(JobRequest{
+			Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+			Benchmarks: []string{"compress"},
+			Insts:      20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	// Drain concurrently with the in-flight panic (this is what the
+	// SIGTERM handler in cmd/polyserve does).
+	var wg sync.WaitGroup
+	var journaled int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n, err := s.Drain()
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		journaled = n
+	}()
+	wg.Wait()
+
+	journaledIDs := make(map[string]bool)
+	if data, err := os.ReadFile(journal); err == nil {
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			payload, err := parseJournalLine([]byte(line))
+			if err != nil {
+				t.Fatalf("journal line %q: %v", line, err)
+			}
+			var e journalEntry
+			if err := json.Unmarshal(payload, &e); err != nil {
+				t.Fatal(err)
+			}
+			journaledIDs[e.ID] = true
+		}
+	}
+	if len(journaledIDs) != journaled {
+		t.Fatalf("journal has %d records, Drain reported %d", len(journaledIDs), journaled)
+	}
+
+	// Account for every job: finished (done/failed) or journaled — a job
+	// that is neither was lost by the drain/panic race.
+	for _, id := range ids {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch {
+		case j.State == JobDone || j.State == JobFailed:
+			// Ran to completion (the chaos job must be failed, not lost).
+		case j.State == JobQueued && journaledIDs[id]:
+			// Still queued at drain time and safely journaled.
+		default:
+			t.Fatalf("job %s lost: state=%s journaled=%v", id, j.State, journaledIDs[id])
+		}
+	}
+	if crashJob, _ := s.Job(crash.ID); crashJob.State == JobFailed {
+		if !strings.Contains(crashJob.Error, "worker panic") {
+			t.Fatalf("chaos job error %q does not mention the contained panic", crashJob.Error)
+		}
+	} else if !journaledIDs[crash.ID] {
+		t.Fatalf("chaos job neither failed nor journaled: %+v", crashJob)
+	}
+}

@@ -22,8 +22,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,6 +57,19 @@ type Config struct {
 	// JournalPath is where queued jobs are persisted on Drain and loaded
 	// from on New (empty = no journaling).
 	JournalPath string
+	// Audit, when not AuditOff, runs every simulation under the pipeline's
+	// invariant auditor at the given level. Auditing is excluded from the
+	// canonical config hash, so memoized cells stay shared with unaudited
+	// runs.
+	Audit pipeline.AuditLevel
+	// CrashThreshold is how many contained worker crashes (panics or
+	// machine checks) a request signature may accumulate before further
+	// submissions of it are refused with HTTP 403 (default 3).
+	CrashThreshold int
+	// ChaosPanic, when non-empty, makes the worker panic on any job whose
+	// title contains the string — a deliberate crash trigger for chaos
+	// testing the recover/quarantine path. Never set in production.
+	ChaosPanic string
 	// Log receives service events (nil = log.Default).
 	Log *log.Logger
 }
@@ -65,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueCapacity < 1 {
 		c.QueueCapacity = 16
+	}
+	if c.CrashThreshold < 1 {
+		c.CrashThreshold = 3
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -79,6 +97,7 @@ type Server struct {
 	sched *scheduler
 	svc   stats.Service
 	memo  *cache.LRU[harness.MemoValue]
+	quar  *quarantine
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -90,6 +109,7 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, jobs: make(map[string]*Job)}
+	s.quar = newQuarantine(cfg.CrashThreshold)
 	if cfg.CacheCells > 0 {
 		s.memo = cache.NewLRU[harness.MemoValue](cfg.CacheCells)
 	}
@@ -163,16 +183,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	return mux
 }
 
+// ErrQuarantined is returned by Submit (HTTP 403) for a request whose
+// signature has crashed the worker CrashThreshold times.
+var ErrQuarantined = errors.New("server: request quarantined after repeated worker crashes")
+
 // Submit validates a request and enqueues it, returning the new job.
 // Validation failures are *RequestError (HTTP 400); a full queue is
-// ErrQueueFull and a draining server ErrDraining.
+// ErrQueueFull, a draining server ErrDraining, and a repeatedly-crashing
+// request ErrQuarantined.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
 	configs, err := req.resolve(s.cfg.MaxInsts)
 	if err != nil {
 		return nil, &RequestError{Err: err}
+	}
+	if sig, bad := s.quar.check(req); bad {
+		s.svc.JobsQuarantined.Add(1)
+		return nil, fmt.Errorf("%w (signature %s; see /v1/quarantine)", ErrQuarantined, sig)
 	}
 	j := &Job{
 		State:     JobQueued,
@@ -304,10 +334,27 @@ func (s *Server) runJob(j *Job) {
 	if s.memo != nil {
 		opts.Memo = s.memo
 	}
+	if s.cfg.Audit != pipeline.AuditOff {
+		opts.Audit = s.cfg.Audit
+	}
 
-	text, err := s.render(j, opts)
+	text, err, crashed := s.renderContained(j, opts)
+	var mce *pipeline.MachineCheckError
+	if errors.As(err, &mce) {
+		// A machine check escaping the simulator is a contained crash just
+		// like a worker panic: the request corrupted (or exposed corruption
+		// in) simulator state and counts against its quarantine budget.
+		crashed = true
+		s.svc.WorkerPanics.Add(1)
+	}
 
 	finished := time.Now().UTC()
+	if crashed {
+		sig, quarantinedNow := s.quar.recordCrash(j.Request, j.describe(), err.Error(), finished)
+		if quarantinedNow {
+			s.cfg.Log.Printf("polyserve: quarantined request signature %s after %d crashes (%s)", sig, s.cfg.CrashThreshold, j.describe())
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.Finished = &finished
@@ -327,6 +374,26 @@ func (s *Server) runJob(j *Job) {
 		s.svc.JobsFailed.Add(1)
 	}
 	s.cfg.Log.Printf("polyserve: %s %s (%s) in %s", j.ID, j.State, j.describe(), finished.Sub(now).Round(time.Millisecond))
+}
+
+// renderContained runs the job's simulation with the worker protected by a
+// recover barrier: a panicking worker fails its job instead of killing the
+// process, keeping one poisoned request from taking the service down. The
+// crashed result reports whether a panic was contained.
+func (s *Server) renderContained(j *Job, opts harness.Options) (text string, err error, crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.svc.WorkerPanics.Add(1)
+			crashed = true
+			err = fmt.Errorf("worker panic: %v", r)
+			s.cfg.Log.Printf("polyserve: %s worker panic contained: %v\n%s", j.ID, r, debug.Stack())
+		}
+	}()
+	if s.cfg.ChaosPanic != "" && strings.Contains(j.Request.Title, s.cfg.ChaosPanic) {
+		panic("chaos: deliberate worker panic (title contains " + strconv.Quote(s.cfg.ChaosPanic) + ")")
+	}
+	text, err = s.render(j, opts)
+	return text, err, false
 }
 
 func (j *Job) describe() string {
@@ -397,6 +464,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// scales with the backlog; precision is not required.
 			w.Header().Set("Retry-After", strconv.Itoa(2*s.cfg.QueueCapacity))
 			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrQuarantined):
+			writeError(w, http.StatusForbidden, err)
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
@@ -477,4 +546,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.quar.list())
 }

@@ -14,6 +14,12 @@ type Service struct {
 	JobsCancelled atomic.Uint64
 	JobsRejected  atomic.Uint64 // backpressure: queue-full rejections
 
+	WorkerPanics    atomic.Uint64 // contained worker crashes (panics + machine checks)
+	JobsQuarantined atomic.Uint64 // submissions rejected by the crash-quarantine list
+
+	JournalResumed atomic.Uint64 // journal records successfully re-enqueued at startup
+	JournalDropped atomic.Uint64 // corrupt, torn or stale journal records dropped at startup
+
 	CellsSimulated atomic.Uint64 // (benchmark, config, replicate) cells actually run
 	CellsFromCache atomic.Uint64 // cells served from the memoization cache
 
@@ -30,6 +36,12 @@ type ServiceSnapshot struct {
 	JobsCancelled uint64 `json:"jobs_cancelled"`
 	JobsRejected  uint64 `json:"jobs_rejected"`
 
+	WorkerPanics    uint64 `json:"worker_panics"`
+	JobsQuarantined uint64 `json:"jobs_quarantined"`
+
+	JournalResumed uint64 `json:"journal_resumed"`
+	JournalDropped uint64 `json:"journal_dropped"`
+
 	CellsSimulated uint64 `json:"cells_simulated"`
 	CellsFromCache uint64 `json:"cells_from_cache"`
 
@@ -43,15 +55,19 @@ func (s *Service) Snapshot() ServiceSnapshot {
 	insts := s.SimInsts.Load()
 	nanos := s.SimNanos.Load()
 	snap := ServiceSnapshot{
-		JobsSubmitted:  s.JobsSubmitted.Load(),
-		JobsCompleted:  s.JobsCompleted.Load(),
-		JobsFailed:     s.JobsFailed.Load(),
-		JobsCancelled:  s.JobsCancelled.Load(),
-		JobsRejected:   s.JobsRejected.Load(),
-		CellsSimulated: s.CellsSimulated.Load(),
-		CellsFromCache: s.CellsFromCache.Load(),
-		SimInsts:       insts,
-		SimWallSeconds: float64(nanos) / 1e9,
+		JobsSubmitted:   s.JobsSubmitted.Load(),
+		JobsCompleted:   s.JobsCompleted.Load(),
+		JobsFailed:      s.JobsFailed.Load(),
+		JobsCancelled:   s.JobsCancelled.Load(),
+		JobsRejected:    s.JobsRejected.Load(),
+		WorkerPanics:    s.WorkerPanics.Load(),
+		JobsQuarantined: s.JobsQuarantined.Load(),
+		JournalResumed:  s.JournalResumed.Load(),
+		JournalDropped:  s.JournalDropped.Load(),
+		CellsSimulated:  s.CellsSimulated.Load(),
+		CellsFromCache:  s.CellsFromCache.Load(),
+		SimInsts:        insts,
+		SimWallSeconds:  float64(nanos) / 1e9,
 	}
 	if nanos > 0 {
 		snap.SimInstsPerSec = float64(insts) / (float64(nanos) / 1e9)
