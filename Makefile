@@ -2,7 +2,7 @@ GO ?= go
 INSTS ?= 400000
 BENCHTIME ?= 2s
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke trace-smoke clean
 
 all: build
 
@@ -51,6 +51,14 @@ experiments:
 # memoization cache, and drains the server with SIGTERM.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# trace-smoke exercises the observability subsystem end to end: polysim
+# -trace for both see and dualpath, Chrome/Perfetto JSON validation
+# (well-formed, monotonic per-process timestamps), the Konata export,
+# and a byte-level diff proving tracing never perturbs the statistics.
+# Set TRACE_OUT=<dir> to keep the exported traces (CI uploads them).
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # chaos-smoke is the robustness gate: injected micro-architectural faults
 # must surface as typed machine checks, audit-off output must match the

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ctxtag"
 	"repro/internal/harness"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rename"
 	"repro/internal/workload"
@@ -143,6 +144,53 @@ func BenchmarkCycleLoop(b *testing.B) {
 			if m, err = pipeline.New(prog, cfg); err != nil {
 				b.Fatal(err)
 			}
+			b.StartTimer()
+		}
+		m.Step()
+	}
+}
+
+// BenchmarkTracerOff is BenchmarkCycleLoop with tracing explicitly
+// detached: the number that must stay within noise of BenchmarkCycleLoop,
+// since a disabled tracer costs exactly one nil check per event site.
+func BenchmarkTracerOff(b *testing.B) {
+	benchCycleLoopTracer(b, nil)
+}
+
+// BenchmarkTracerOn measures the same cycle loop with an obs.Ring
+// attached, bounding what a traced run pays per cycle (event construction
+// plus one atomic fetch-add and a slot store per pipeline event).
+func BenchmarkTracerOn(b *testing.B) {
+	benchCycleLoopTracer(b, obs.NewRing(1<<16))
+}
+
+func benchCycleLoopTracer(b *testing.B, tr pipeline.Tracer) {
+	b.Helper()
+	bm, err := workload.ByName("gcc", 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := workload.Generate(bm.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.ConfigSEE()
+	mk := func() *pipeline.Machine {
+		m, err := pipeline.New(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr != nil {
+			m.SetTracer(tr)
+		}
+		return m
+	}
+	m := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Halted() {
+			b.StopTimer()
+			m = mk()
 			b.StartTimer()
 		}
 		m.Step()

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Benchmark is one parsed benchmark result.
@@ -85,8 +86,14 @@ func main() {
 		baseline  = flag.String("baseline", "", "BENCH_*.json snapshot to compare against")
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		insts     = flag.Uint64("fingerprint-insts", 100000, "instruction budget for the Figure 8 fingerprint (0 disables)")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("benchreport", obs.Version())
+		return
+	}
 
 	rep := &Report{
 		Date:      time.Now().UTC().Format("2006-01-02"),

@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -31,7 +34,15 @@ func main() {
 	par := flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
 	reps := flag.Int("reps", 0, "workload-seed replicates averaged per cell (0/1 = single run)")
 	audit := flag.String("audit", "off", "invariant-audit level: off, commit, cycle (results are identical at every level)")
+	traceFile := flag.String("trace", "", "write a merged cycle-level Chrome/Perfetto trace of every simulated cell to this file (observation-only: tables are unchanged)")
+	traceLimit := flag.Int("trace-limit", 65536, "retain at most this many most-recent trace events per cell")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("experiments", obs.Version())
+		return
+	}
 
 	auditLevel, err := pipeline.ParseAuditLevel(*audit)
 	if err != nil {
@@ -41,6 +52,24 @@ func main() {
 	opts := harness.Options{TargetInsts: *insts, Parallelism: *par, Replicates: *reps, Audit: auditLevel}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	// -trace: collect each simulated cell's event stream; cells land in
+	// harness-worker order, so they are sorted before export to keep the
+	// file deterministic.
+	var traceMu sync.Mutex
+	var traceCells []obs.CellTrace
+	if *traceFile != "" {
+		opts.TraceLimit = *traceLimit
+		opts.OnTrace = func(ev harness.CellEvent, events []pipeline.TraceEvent, dropped uint64) {
+			label := fmt.Sprintf("%s/%s", ev.Benchmark, ev.Config)
+			if ev.Replicate > 0 {
+				label = fmt.Sprintf("%s/r%d", label, ev.Replicate)
+			}
+			traceMu.Lock()
+			traceCells = append(traceCells, obs.CellTrace{Label: label, Events: events, Dropped: dropped})
+			traceMu.Unlock()
+		}
 	}
 
 	// The registry in internal/harness is shared with polyserve, so the
@@ -91,5 +120,20 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *traceFile != "" {
+		sort.Slice(traceCells, func(i, k int) bool { return traceCells[i].Label < traceCells[k].Label })
+		f, err := os.Create(*traceFile)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, traceCells)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote trace of %d cell(s) to %s\n", len(traceCells), *traceFile)
 	}
 }

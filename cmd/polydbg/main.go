@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -39,7 +40,13 @@ func main() {
 	asmFile := flag.String("asm", "", "debug an assembly file instead of a benchmark")
 	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
 	insts := flag.Uint64("insts", 0, "dynamic instruction target (0 = default)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("polydbg", obs.Version())
+		return
+	}
 
 	var prog *isa.Program
 	if *asmFile != "" {

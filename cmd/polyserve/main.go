@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/server"
 )
@@ -38,7 +40,15 @@ func main() {
 	audit := flag.String("audit", "off", "invariant-audit level for every simulation: off, commit, cycle")
 	crashThreshold := flag.Int("crash-threshold", 3, "contained worker crashes before a request signature is quarantined")
 	chaosPanic := flag.String("chaos-panic", "", "chaos testing only: panic the worker on jobs whose title contains this string")
+	traceLimit := flag.Int("trace-limit", 1<<18, "total trace events retained per traced job (jobs submitted with \"trace\": true)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (metrics are also on the main address)")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("polyserve", obs.Version())
+		return
+	}
 
 	auditLevel, err := pipeline.ParseAuditLevel(*audit)
 	if err != nil {
@@ -58,6 +68,7 @@ func main() {
 		MaxInsts:       *maxInsts,
 		JournalPath:    *journal,
 		Audit:          auditLevel,
+		TraceLimit:     *traceLimit,
 		CrashThreshold: *crashThreshold,
 		ChaosPanic:     *chaosPanic,
 		Log:            logger,
@@ -67,10 +78,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *debugAddr != "" {
+		// Live introspection: pprof profiles of the running service plus a
+		// second /metrics mount, on an address that can stay private even
+		// when the API address is exposed.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metrics", srv.MetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Printf("polyserve: debug server: %v", err)
+			}
+		}()
+		logger.Printf("polyserve: debug server on http://%s (/debug/pprof/, /metrics)", *debugAddr)
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	logger.Printf("polyserve: listening on %s (workers=%d queue=%d cache=%d)", *addr, *workers, *queue, *cacheCells)
+	logger.Printf("polyserve: listening on %s (workers=%d queue=%d cache=%d, version %s)", *addr, *workers, *queue, *cacheCells, obs.Version())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

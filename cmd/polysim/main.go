@@ -10,6 +10,20 @@
 //	polysim -bench go -model see-oracle-ce  # SEE with perfect confidence
 //	polysim -bench m88ksim -model adaptive  # SEE + PVN monitor
 //
+// Observability:
+//
+//	polysim -bench compress -model dualpath -trace trace.json
+//	    # cycle-level event trace, loadable in Perfetto / chrome://tracing
+//	polysim -bench go -trace pipe.kanata -trace-format konata
+//	    # per-instruction pipeline timeline for the Konata viewer
+//	polysim -bench gcc -timeline 40
+//	    # print stage timelines of the first 40 instructions
+//	polysim -bench go -debug-addr localhost:6060
+//	    # net/http/pprof plus live /metrics while the simulation runs
+//
+// Tracing is observation-only: the statistics report is bit-identical
+// with and without it.
+//
 // Machine parameters (window size, functional units, pipeline depth,
 // predictor size) can be overridden with flags; defaults are the paper's
 // baseline (Sec. 4.2) with the scaled predictor tables described in
@@ -19,11 +33,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -39,9 +60,19 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed override (0 = benchmark default)")
 	disasm := flag.Bool("disasm", false, "print the generated program and exit")
 	mix := flag.Bool("mix", false, "print the dynamic instruction mix and exit")
-	trace := flag.Uint64("trace", 0, "collect and print pipeline timelines for the first N instructions")
+	timeline := flag.Uint64("timeline", 0, "collect and print pipeline timelines for the first N instructions")
+	traceFile := flag.String("trace", "", "write a cycle-level event trace to this file (Chrome/Perfetto JSON, or Konata with -trace-format)")
+	traceFormat := flag.String("trace-format", "auto", "trace file format: chrome, konata, auto (by extension: .kanata/.konata = konata)")
+	traceLimit := flag.Int("trace-limit", 1<<20, "retain at most this many most-recent trace events")
 	audit := flag.String("audit", "off", "invariant-audit level: off, commit, cycle (results are identical at every level)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and live /metrics on this address while simulating")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("polysim", obs.Version())
+		return
+	}
 
 	var prog *isa.Program
 	if *asmFile != "" {
@@ -93,23 +124,101 @@ func main() {
 	fail(err)
 
 	var pt *pipeline.PipeTrace
-	if *trace > 0 {
-		pt = pipeline.NewPipeTrace(*trace)
+	if *timeline > 0 {
+		pt = pipeline.NewPipeTrace(*timeline)
 	}
-	var res *core.Result
-	var err2 error
+	var ring *obs.Ring
+	if *traceFile != "" {
+		ring = obs.NewRing(*traceLimit)
+	}
+
+	// Run the machine directly (rather than through core.Run) so the live
+	// statistics can back the -debug-addr /metrics endpoint mid-simulation.
+	m, err := pipeline.New(prog, cfg)
+	fail(err)
+	var tracers []pipeline.Tracer
 	if pt != nil {
-		res, err2 = core.RunWithTracer(prog, cfg, pt)
-	} else {
-		res, err2 = core.Run(prog, cfg)
+		tracers = append(tracers, pt)
 	}
-	fail(err2)
+	if ring != nil {
+		tracers = append(tracers, ring)
+	}
+	if tr := obs.Tee(tracers...); tr != nil {
+		m.SetTracer(tr)
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, &m.Stats)
+	}
+	fail(m.Run())
+	fail(m.VerifyArchState())
+
 	fmt.Printf("benchmark %s, model %s (architectural state verified: %v)\n\n%s",
-		*bench, *model, res.Verified, res.Stats.Summary())
+		*bench, *model, true, m.Stats.Summary())
 	if pt != nil {
 		fmt.Println()
 		fail(pt.Render(os.Stdout))
 	}
+	if ring != nil {
+		fail(writeTrace(*traceFile, *traceFormat, *bench+"/"+*model, ring))
+	}
+}
+
+// writeTrace exports the captured ring to path in the requested format.
+func writeTrace(path, format, label string, ring *obs.Ring) error {
+	if format == "auto" {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".kanata", ".konata":
+			format = "konata"
+		default:
+			format = "chrome"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := ring.Snapshot()
+	switch format {
+	case "chrome":
+		err = obs.WriteChromeTrace(f, []obs.CellTrace{{Label: label, Events: events, Dropped: ring.Dropped()}})
+	case "konata":
+		err = obs.WriteKonata(f, events)
+	default:
+		err = fmt.Errorf("unknown -trace-format %q (chrome, konata, auto)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "polysim: wrote %d trace event(s) to %s (%d dropped by the %d-event ring)\n",
+			len(events), path, ring.Dropped(), ring.Cap())
+	}
+	return err
+}
+
+// serveDebug starts the live-introspection endpoint: net/http/pprof for
+// CPU/heap/goroutine profiling of the running simulation, plus the
+// simulator's counters and occupancy histograms as Prometheus /metrics.
+func serveDebug(addr string, sim *stats.Sim) {
+	reg := metrics.NewRegistry()
+	reg.GaugeFunc("polysim_build_info", `version="`+strings.ReplaceAll(obs.Version(), `"`, "'")+`"`, "Build identity (constant 1).", func() float64 { return 1 })
+	stats.RegisterSim(reg, "polysim", sim)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "polysim: debug server:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "polysim: debug server on http://%s (/debug/pprof/, /metrics)\n", addr)
 }
 
 func fail(err error) {

@@ -42,6 +42,11 @@ type Client struct {
 	// uniform value in [0,1) (default math/rand).
 	Sleep  func(ctx context.Context, d time.Duration) error
 	Jitter func() float64
+
+	// Logf, when set, receives a debug line per retry: the attempt number,
+	// the failure being retried, the computed backoff, and whether a
+	// server Retry-After hint stretched it (nil = silent).
+	Logf func(format string, args ...any)
 }
 
 // New returns a client for the polyserve instance at baseURL with the
@@ -55,10 +60,24 @@ func New(baseURL string) *Client {
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // the server's error text
+	// Attempts is how many tries the call consumed before this error was
+	// returned (1 for an immediately non-retryable response).
+	Attempts int
+	// RetryAfter is the server's last Retry-After hint, if it sent one —
+	// how long it asked us to wait before coming back. Surfaced so callers
+	// that give up (budget exhausted) can still honor the hint later.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
-	return fmt.Sprintf("polyserve: %s (HTTP %d)", e.Message, e.Status)
+	msg := fmt.Sprintf("polyserve: %s (HTTP %d", e.Message, e.Status)
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(", %d attempts", e.Attempts)
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(", server asked to retry after %s", e.RetryAfter)
+	}
+	return msg + ")"
 }
 
 // IsQuarantined reports whether err is the server refusing a request whose
@@ -172,7 +191,16 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, want 
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+			d := c.backoff(attempt, lastErr)
+			if c.Logf != nil {
+				hint := ""
+				if ra, ok := lastErr.(*retryAfterError); ok && ra.after > 0 {
+					hint = fmt.Sprintf(" (server Retry-After %s)", ra.after)
+				}
+				c.Logf("polyserve client: %s %s attempt %d/%d after %v; retrying in %s%s",
+					method, path, attempt+1, attempts, lastErr, d, hint)
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return err
 			}
 		}
@@ -207,13 +235,17 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, want 
 			}
 			return json.Unmarshal(data, out)
 		}
-		apiErr := &APIError{Status: resp.StatusCode, Message: errText(data, resp.Status)}
+		apiErr := &APIError{Status: resp.StatusCode, Message: errText(data, resp.Status), Attempts: attempt + 1}
 		if !retryable(resp.StatusCode) {
 			return apiErr
 		}
 		lastErr = &retryAfterError{err: apiErr, after: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if ra, ok := lastErr.(*retryAfterError); ok {
+		// Budget exhausted on a retryable status: report how many tries the
+		// call burned and the server's last Retry-After hint.
+		ra.err.Attempts = attempts
+		ra.err.RetryAfter = ra.after
 		return ra.err
 	}
 	return fmt.Errorf("polyserve: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestAPIErrorSurfacesAttemptsAndRetryAfter: when the retry budget is
+// exhausted on a retryable status, the returned APIError reports how
+// many tries the call burned and the server's last Retry-After hint.
+func TestAPIErrorSurfacesAttemptsAndRetryAfter(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"server: job queue full"}`))
+	}))
+	c.MaxAttempts = 3
+	_, err := c.Submit(context.Background(), server.JobRequest{Experiment: "fig8"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", ae.Attempts)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+	msg := ae.Error()
+	if !strings.Contains(msg, "3 attempts") || !strings.Contains(msg, "retry after 7s") {
+		t.Fatalf("Error() = %q should mention attempts and the Retry-After hint", msg)
+	}
+}
+
+// TestAPIErrorImmediateFailureIsOneAttempt: non-retryable responses
+// report a single attempt and keep the terse error text.
+func TestAPIErrorImmediateFailureIsOneAttempt(t *testing.T) {
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad"}`))
+	}))
+	_, err := c.Submit(context.Background(), server.JobRequest{Experiment: "fig8"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Attempts != 1 || ae.RetryAfter != 0 {
+		t.Fatalf("Attempts=%d RetryAfter=%v, want 1 and 0", ae.Attempts, ae.RetryAfter)
+	}
+	if got := ae.Error(); got != "polyserve: bad (HTTP 400)" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+// TestLogfReceivesRetryDetail: the debug hook sees one line per retry
+// with the attempt counter, the backoff, and the Retry-After hint.
+func TestLogfReceivesRetryDetail(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"server: job queue full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	var lines []string
+	c.Logf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("Logf got %d lines, want 1: %v", len(lines), lines)
+	}
+	for _, want := range []string{"attempt 2/", "queue full", "Retry-After 2s"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("log line %q missing %q", lines[0], want)
+		}
+	}
+}

@@ -59,6 +59,14 @@ func RunWithTracer(prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, 
 	return runWithTracer(context.Background(), prog, cfg, tr)
 }
 
+// RunContextTracer combines RunContext and RunWithTracer: cooperative
+// cancellation plus an attached pipeline tracer (e.g. an obs.Ring
+// capturing a bounded cycle-level event stream). Tracing is observation
+// only; the result is bit-identical to an untraced run.
+func RunContextTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
+	return runWithTracer(ctx, prog, cfg, tr)
+}
+
 func runWithTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
 	m, err := pipeline.New(prog, cfg)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -86,6 +87,18 @@ type Options struct {
 	// canonical config hash (it cannot change results), so memoized cells
 	// are shared across audit levels.
 	Audit pipeline.AuditLevel
+	// TraceLimit, when > 0 together with OnTrace, attaches a bounded
+	// lock-free ring tracer (capacity TraceLimit events, keeping the most
+	// recent) to every simulated cell. Tracing is observation-only: it is
+	// excluded from the memo identity like Audit, results are
+	// bit-identical with it on or off, and memoized (cache-replayed)
+	// cells produce no events.
+	TraceLimit int
+	// OnTrace receives the captured event stream of every simulated
+	// (non-memoized) cell: its CellEvent, the retained events in arrival
+	// order, and how many events the capture bound dropped. It may be
+	// called concurrently from worker goroutines.
+	OnTrace func(ev CellEvent, events []pipeline.TraceEvent, dropped uint64)
 }
 
 func (o Options) context() context.Context {
@@ -327,6 +340,7 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 				val       MemoValue
 				fromCache bool
 				key       string
+				ring      *obs.Ring
 			)
 			start := time.Now()
 			if opts.Memo != nil {
@@ -338,7 +352,12 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 				if opts.Audit != pipeline.AuditOff {
 					cfg.Audit = opts.Audit
 				}
-				res, err := core.RunContext(ctx, j.prog, cfg)
+				var tr pipeline.Tracer
+				if opts.TraceLimit > 0 && opts.OnTrace != nil {
+					ring = obs.NewRing(opts.TraceLimit)
+					tr = ring
+				}
+				res, err := core.RunContextTracer(ctx, j.prog, cfg, tr)
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
@@ -350,17 +369,21 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 					opts.Memo.Put(key, val)
 				}
 			}
+			cellEv := CellEvent{
+				Benchmark: j.bench,
+				Config:    j.nc.Name,
+				Replicate: j.rep,
+				FromCache: fromCache,
+				IPC:       val.IPC,
+				Committed: val.Stats.Committed,
+				Cycles:    val.Stats.Cycles,
+				Elapsed:   time.Since(start),
+			}
+			if ring != nil {
+				opts.OnTrace(cellEv, ring.Snapshot(), ring.Dropped())
+			}
 			if opts.OnCell != nil {
-				opts.OnCell(CellEvent{
-					Benchmark: j.bench,
-					Config:    j.nc.Name,
-					Replicate: j.rep,
-					FromCache: fromCache,
-					IPC:       val.IPC,
-					Committed: val.Stats.Committed,
-					Cycles:    val.Stats.Cycles,
-					Elapsed:   time.Since(start),
-				})
+				opts.OnCell(cellEv)
 			}
 			mu.Lock()
 			defer mu.Unlock()

@@ -1,0 +1,264 @@
+// Package metrics is a small, dependency-free operational-metrics
+// registry in the Prometheus data model: counters, gauges and histograms
+// with optional constant labels, rendered in the Prometheus text
+// exposition format (WritePrometheus).
+//
+// The write paths are atomic and allocation-free — a Counter.Add is one
+// atomic add, a Histogram.Observe is two atomic adds plus a CAS on the
+// sum — so hot paths (worker goroutines reporting per-cell completions)
+// never contend on a lock. Registration, by contrast, is expected at
+// startup and takes the registry lock.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (stored as float64 bits).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (CAS loop; d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative le-buckets, Prometheus
+// style. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an exportable histogram state: per-bucket
+// (non-cumulative) counts aligned with Bounds, plus one overflow bucket
+// (len(Counts) == len(Bounds)+1), and the total count and sum.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// LatencyBuckets are the default duration bounds (seconds) for job/cell
+// latency histograms: 10ms up to 5 minutes.
+func LatencyBuckets() []float64 {
+	return []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+}
+
+// metric is one labeled sample source inside a family.
+type metric struct {
+	labels string // raw label body, e.g. `state="done"` (may be empty)
+	value  func() float64
+	hist   func() HistogramSnapshot // histograms only
+}
+
+// family is one metric name with HELP/TYPE and its labeled samples.
+type family struct {
+	name, help, typ string
+	metrics         []*metric
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. The zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds a sample to the named family, creating it on first use
+// and panicking on a type conflict (programmer error, caught at startup).
+func (r *Registry) register(name, labels, help, typ string, m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	m.labels = labels
+	f.metrics = append(f.metrics, m)
+}
+
+// Counter registers and returns a counter. labels is the raw constant
+// label body (`state="done"`), empty for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.register(name, labels, help, "counter", &metric{value: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from f at scrape
+// time — the adapter for pre-existing atomic counters (internal/stats).
+func (r *Registry) CounterFunc(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, "counter", &metric{value: f})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, labels, help, "gauge", &metric{value: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge read from f at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, f func() float64) {
+	r.register(name, labels, help, "gauge", &metric{value: f})
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// upper bounds.
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, labels, help, "histogram", &metric{hist: h.Snapshot})
+	return h
+}
+
+// HistogramFunc registers a histogram whose snapshot is read from f at
+// scrape time — the adapter for external distributions such as the
+// simulator's per-cycle occupancy histograms.
+func (r *Registry) HistogramFunc(name, labels, help string, f func() HistogramSnapshot) {
+	r.register(name, labels, help, "histogram", &metric{hist: f})
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func histSampleName(name, labels, le string) string {
+	body := `le="` + le + `"`
+	if labels != "" {
+		body = labels + "," + body
+	}
+	return name + "_bucket{" + body + "}"
+}
+
+// WritePrometheus renders every family in registration order as
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		cp := *f
+		cp.metrics = append([]*metric(nil), f.metrics...)
+		fams = append(fams, &cp)
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, m := range f.metrics {
+			if f.typ == "histogram" {
+				s := m.hist()
+				cum := uint64(0)
+				for i, b := range s.Bounds {
+					cum += s.Counts[i]
+					if _, err := fmt.Fprintf(w, "%s %d\n", histSampleName(f.name, m.labels, fmtFloat(b)), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", histSampleName(f.name, m.labels, "+Inf"), s.Count); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(f.name+"_sum", m.labels), fmtFloat(s.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_count", m.labels), s.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(f.name, m.labels), fmtFloat(m.value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

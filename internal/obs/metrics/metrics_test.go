@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", `state="done"`, "Jobs.")
+	g := r.Gauge("depth", "", "Depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(3)
+	g.Add(-1.5)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestWritePrometheusExactText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", `state="done"`, "Jobs by state.").Add(3)
+	r.Counter("jobs_total", `state="failed"`, "").Add(1)
+	r.GaugeFunc("queue_depth", "", "Waiting jobs.", func() float64 { return 2 })
+	h := r.Histogram("latency_seconds", "", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP jobs_total Jobs by state.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 3`,
+		`jobs_total{state="failed"} 1`,
+		"# HELP queue_depth Waiting jobs.",
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+		"# HELP latency_seconds Latency.",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_sum 11.05",
+		"latency_seconds_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", "", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" is inclusive
+	h.Observe(2)
+	h.Observe(2.0001)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [1 1 1]", s.Counts)
+	}
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as both counter and gauge should panic")
+		}
+	}()
+	r.Gauge("x", "", "")
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "", "")
+	g := r.Gauge("g", "", "")
+	h := r.Histogram("h", "", "", LatencyBuckets())
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.02)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*per)
+	}
+	if want := float64(workers*per) * 0.02; s.Sum < want*0.999 || s.Sum > want*1.001 {
+		t.Fatalf("histogram sum = %v, want ~%v", s.Sum, want)
+	}
+}
+
+func TestHistogramFunc(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramFunc("occupancy", "", "Occupancy.", func() HistogramSnapshot {
+		return HistogramSnapshot{Bounds: []float64{0, 1}, Counts: []uint64{5, 3, 2}, Count: 10, Sum: 7}
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`occupancy_bucket{le="0"} 5`,
+		`occupancy_bucket{le="1"} 8`,
+		`occupancy_bucket{le="+Inf"} 10`,
+		"occupancy_sum 7",
+		"occupancy_count 10",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}

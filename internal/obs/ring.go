@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/pipeline"
+)
+
+// Ring is a bounded, lock-free pipeline-event sink: a power-of-two ring
+// buffer that keeps the most recent events and counts the rest as
+// dropped. It implements pipeline.Tracer.
+//
+// Writes are wait-free — one atomic fetch-add claims a slot, one store
+// fills it — so the tracer adds no locks to the simulator's cycle loop,
+// and Total/Dropped may be read concurrently to observe progress. The
+// write side is single-producer: one ring belongs to one simulation
+// (the harness allocates a ring per cell; polysim per run). Concurrent
+// machines each get their own ring rather than sharing one. Snapshot
+// must only be called after the producing simulation has finished; it
+// is not synchronized against the writer.
+type Ring struct {
+	buf  []pipeline.TraceEvent
+	mask uint64
+	pos  atomic.Uint64 // total events ever written
+}
+
+// NewRing creates a ring that retains the last capacity events (rounded
+// up to a power of two, minimum 16).
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]pipeline.TraceEvent, n), mask: uint64(n - 1)}
+}
+
+// Event implements pipeline.Tracer.
+func (r *Ring) Event(e pipeline.TraceEvent) {
+	i := r.pos.Add(1) - 1
+	r.buf[i&r.mask] = e
+}
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Total returns how many events were ever offered to the ring.
+func (r *Ring) Total() uint64 { return r.pos.Load() }
+
+// Dropped returns how many events were overwritten (offered beyond
+// capacity); the ring kept the most recent Cap() of them.
+func (r *Ring) Dropped() uint64 {
+	if t := r.pos.Load(); t > uint64(len(r.buf)) {
+		return t - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// Snapshot copies the retained events out in arrival order (oldest
+// first). Call only after the traced simulations have completed.
+func (r *Ring) Snapshot() []pipeline.TraceEvent {
+	total := r.pos.Load()
+	n := total
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	out := make([]pipeline.TraceEvent, n)
+	start := total - n
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.buf[(start+i)&r.mask]
+	}
+	return out
+}

@@ -107,7 +107,7 @@ func (m *Machine) issue() {
 		e.state = stateExecuting
 		m.schedule(e, lat)
 		if m.tracer != nil {
-			m.emit(TraceIssue, e.seq, e.pc, e.tag, unit.String())
+			m.emit(TraceIssue, e.seq, e.pc, e.path, e.tag, unit.String())
 		}
 		m.Stats.FUIssued[unit]++
 		switch unit {
@@ -229,7 +229,7 @@ func (m *Machine) writeback() {
 		}
 		e.state = stateDone
 		if m.tracer != nil {
-			m.emit(TraceWriteback, e.seq, e.pc, e.tag, "")
+			m.emit(TraceWriteback, e.seq, e.pc, e.path, e.tag, "")
 		}
 		if e.hasDest {
 			m.physVal[e.dstPhys] = e.result
@@ -261,7 +261,7 @@ func (m *Machine) resolve(e *entry) {
 			note = fmt.Sprintf("divergence resolved (taken=%v)", e.outcome)
 		}
 		if m.tracer != nil {
-			m.emit(TraceResolve, e.seq, e.pc, e.tag, note)
+			m.emit(TraceResolve, e.seq, e.pc, e.path, e.tag, note)
 		}
 	}
 	e.path.pendingBranches--
@@ -298,7 +298,7 @@ func (m *Machine) killWrongSubtree(pos int, outcome bool) {
 func (m *Machine) recoverMispredict(e *entry) {
 	m.Stats.MonopathRecoveries++
 	if m.tracer != nil {
-		m.emit(TraceRecover, e.seq, e.pc, e.tag, "checkpoint restore + fetch redirect")
+		m.emit(TraceRecover, e.seq, e.pc, e.path, e.tag, "checkpoint restore + fetch redirect")
 	}
 	p := e.path
 	// Revive the path before killing its younger instructions: the kill
@@ -386,7 +386,7 @@ func (m *Machine) killEntry(e *entry) {
 	e.killed = true
 	m.Stats.Killed++
 	if m.tracer != nil {
-		m.emit(TraceKill, e.seq, e.pc, e.tag, "")
+		m.emit(TraceKill, e.seq, e.pc, e.path, e.tag, "")
 	}
 	if e.hasDest {
 		m.freeList.Free(e.dstPhys)
@@ -415,7 +415,7 @@ func (m *Machine) killEntry(e *entry) {
 func (m *Machine) killFinst(f *finst) {
 	m.Stats.Killed++
 	if m.tracer != nil {
-		m.emit(TraceKill, f.seq, f.pc, f.tag, "")
+		m.emit(TraceKill, f.seq, f.pc, f.path, f.tag, "")
 	}
 	if f.isBranch || f.isIndirect {
 		f.path.pendingBranches--
@@ -480,7 +480,7 @@ func (m *Machine) commit() {
 func (m *Machine) commitEntry(e *entry) {
 	m.Stats.Committed++
 	if m.tracer != nil {
-		m.emit(TraceCommit, e.seq, e.pc, e.tag, "")
+		m.emit(TraceCommit, e.seq, e.pc, e.path, e.tag, "")
 	}
 	if e.isStore {
 		m.mem[e.addr] = e.storeData
@@ -565,7 +565,7 @@ func (m *Machine) resolveIndirect(e *entry) {
 			note = fmt.Sprintf("indirect target mispredicted -> %d", e.actualTarget)
 		}
 		if m.tracer != nil {
-			m.emit(TraceResolve, e.seq, e.pc, e.tag, note)
+			m.emit(TraceResolve, e.seq, e.pc, e.path, e.tag, note)
 		}
 	}
 	e.path.pendingBranches--

@@ -121,11 +121,11 @@ func (m *Machine) fetchPath(p *path, grant int, out *[]*finst) int {
 		*out = append(*out, f)
 		n++
 		if m.tracer != nil {
-			m.emit(TraceFetch, f.seq, f.pc, f.tag, disasmNote(in))
+			m.emit(TraceFetch, f.seq, f.pc, f.path, f.tag, disasmNote(in))
 		}
 		if f.diverged {
 			if m.tracer != nil {
-				m.emit(TraceDiverge, f.seq, f.pc, f.tag,
+				m.emit(TraceDiverge, f.seq, f.pc, f.path, f.tag,
 					fmt.Sprintf("divergence at history position %d", f.histPos))
 			}
 			break // parent stops fetching; children start next cycle

@@ -131,7 +131,7 @@ func (m *Machine) renameOne(f *finst) bool {
 	m.windowPush(e)
 	m.Stats.Renamed++
 	if m.tracer != nil {
-		m.emit(TraceRename, e.seq, e.pc, e.tag, "")
+		m.emit(TraceRename, e.seq, e.pc, e.path, e.tag, "")
 	}
 	return true
 }

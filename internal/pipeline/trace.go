@@ -51,6 +51,7 @@ type TraceEvent struct {
 	Kind  TraceKind
 	Seq   uint64 // instruction sequence number (0 for path-level events)
 	PC    int
+	Path  int    // CTX-table slot of the owning path (-1 if unknown)
 	Tag   string // CTX tag in T/N/X notation
 	Note  string // disassembly or event-specific detail
 }
@@ -65,7 +66,7 @@ type Tracer interface {
 // and has no overhead beyond a nil check when disabled.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
-func (m *Machine) emit(kind TraceKind, seq uint64, pc int, tag fmt.Stringer, note string) {
+func (m *Machine) emit(kind TraceKind, seq uint64, pc int, p *path, tag fmt.Stringer, note string) {
 	if m.tracer == nil {
 		return
 	}
@@ -73,7 +74,11 @@ func (m *Machine) emit(kind TraceKind, seq uint64, pc int, tag fmt.Stringer, not
 	if tag != nil {
 		ts = tag.String()
 	}
-	m.tracer.Event(TraceEvent{Cycle: m.cycle, Kind: kind, Seq: seq, PC: pc, Tag: ts, Note: note})
+	pathID := -1
+	if p != nil {
+		pathID = p.id
+	}
+	m.tracer.Event(TraceEvent{Cycle: m.cycle, Kind: kind, Seq: seq, PC: pc, Path: pathID, Tag: ts, Note: note})
 }
 
 // PipeTrace collects events and renders per-instruction pipeline timelines

@@ -53,6 +53,16 @@ type JobRequest struct {
 	Replicates int `json:"replicates,omitempty"`
 	// TimeoutSec caps the job's wall time (0 = server default).
 	TimeoutSec int `json:"timeout_sec,omitempty"`
+	// Trace captures a bounded cycle-level pipeline trace of every
+	// simulated cell, downloadable from GET /v1/jobs/{id}/trace as
+	// Chrome/Perfetto trace_event JSON once the job finishes. Tracing is
+	// observation-only (results are bit-identical, memoization identity is
+	// unchanged); memoized cells replay without simulating and therefore
+	// contribute no events.
+	Trace bool `json:"trace,omitempty"`
+	// TraceLimit caps retained events per cell (0 = server default;
+	// bounded by the server's whole-job budget).
+	TraceLimit int `json:"trace_limit,omitempty"`
 }
 
 // JobResult is the completed outcome of a job.
@@ -85,6 +95,9 @@ type Job struct {
 	configs []harness.NamedConfig
 	// cancel aborts the running simulation (nil unless running).
 	cancel context.CancelFunc
+	// trace accumulates captured cell streams when Request.Trace is set
+	// (nil until the job starts running; see trace.go).
+	trace *jobTrace
 }
 
 // title returns the rendered-table title of a custom sweep.
@@ -113,6 +126,12 @@ func (r JobRequest) resolve(maxInsts uint64) ([]harness.NamedConfig, error) {
 	}
 	if r.TimeoutSec < 0 {
 		return nil, fmt.Errorf("timeout_sec must be >= 0")
+	}
+	if r.TraceLimit < 0 {
+		return nil, fmt.Errorf("trace_limit must be >= 0")
+	}
+	if r.TraceLimit > 0 && !r.Trace {
+		return nil, fmt.Errorf("trace_limit requires \"trace\": true")
 	}
 	for _, b := range r.Benchmarks {
 		if _, err := workload.ByName(b, 0); err != nil {

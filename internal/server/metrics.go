@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
+)
+
+// initMetrics builds the server's Prometheus registry: the service-level
+// counters (internal/stats), queue and memoization gauges read at scrape
+// time, and per-job latency histograms by outcome. Called once from New.
+func (s *Server) initMetrics() {
+	reg := metrics.NewRegistry()
+	s.reg = reg
+	s.svc.Register(reg)
+
+	reg.GaugeFunc("polyserve_queue_depth", "", "Jobs waiting in the FIFO queue.", func() float64 {
+		queued, _ := s.sched.depth()
+		return float64(queued)
+	})
+	reg.GaugeFunc("polyserve_jobs_running", "", "Jobs currently executing on workers.", func() float64 {
+		_, running := s.sched.depth()
+		return float64(running)
+	})
+	reg.GaugeFunc("polyserve_queue_capacity", "", "FIFO queue capacity (backpressure beyond this).", func() float64 {
+		return float64(s.cfg.QueueCapacity)
+	})
+	if s.memo != nil {
+		reg.CounterFunc("polyserve_memo_hits_total", "", "Memoization cache hits.", func() float64 {
+			hits, _ := s.memo.Stats()
+			return float64(hits)
+		})
+		reg.CounterFunc("polyserve_memo_misses_total", "", "Memoization cache misses.", func() float64 {
+			_, misses := s.memo.Stats()
+			return float64(misses)
+		})
+		reg.GaugeFunc("polyserve_memo_entries", "", "Resident memoization cache entries.", func() float64 {
+			return float64(s.memo.Len())
+		})
+		reg.GaugeFunc("polyserve_memo_hit_ratio", "", "Memoization hit ratio since startup.", func() float64 {
+			hits, misses := s.memo.Stats()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
+	}
+	s.jobDur = map[JobState]*metrics.Histogram{
+		JobDone:      reg.Histogram("polyserve_job_duration_seconds", `state="done"`, "Job wall time from start to finish, by outcome.", metrics.LatencyBuckets()),
+		JobFailed:    reg.Histogram("polyserve_job_duration_seconds", `state="failed"`, "", metrics.LatencyBuckets()),
+		JobCancelled: reg.Histogram("polyserve_job_duration_seconds", `state="cancelled"`, "", metrics.LatencyBuckets()),
+	}
+	s.cellDur = reg.Histogram("polyserve_cell_duration_seconds", "", "Per-cell simulation wall time (cache replays excluded).", metrics.LatencyBuckets())
+	version := strings.ReplaceAll(obs.Version(), `"`, "'")
+	reg.GaugeFunc("polyserve_build_info", `version="`+version+`"`, "Build identity (constant 1).", func() float64 { return 1 })
+}
+
+// observeJobDuration records a finished job's wall time into the
+// per-outcome latency histogram.
+func (s *Server) observeJobDuration(state JobState, d time.Duration) {
+	if h := s.jobDur[state]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format; Handler mounts it at GET /metrics, and cmd/polyserve reuses it
+// on the -debug-addr endpoint next to net/http/pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const traceBody = `{"configs":[{"name":"see","model":"see"}],"benchmarks":["go"],"insts":20000,"trace":true,"trace_limit":2000}`
+
+// TestMetricsEndpoint checks the Prometheus exposition: valid text
+// format with the job latency histogram and memo counters the dashboards
+// scrape.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheCells: 16})
+	submitAndWait(t, ts, `{"configs":[{"name":"see","model":"see"}],"benchmarks":["go"],"insts":20000}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		`polyserve_jobs_total{state="completed"} 1`,
+		`polyserve_cells_total{source="simulated"} 1`,
+		"polyserve_memo_hits_total 0",
+		"polyserve_memo_misses_total 1",
+		`polyserve_job_duration_seconds_count{state="done"} 1`,
+		`polyserve_job_duration_seconds_bucket{state="done",le="+Inf"} 1`,
+		"polyserve_queue_depth 0",
+		"# TYPE polyserve_job_duration_seconds histogram",
+		"polyserve_build_info{version=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics output:\n%s", want, out)
+		}
+	}
+	// Minimal format lint: every non-comment line is "name{labels} value"
+	// with a parseable numeric value (label values may contain spaces).
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Errorf("sample %q has non-numeric value %q", line, line[i+1:])
+		}
+	}
+}
+
+// TestJobTraceEndpoint drives the full trace lifecycle: a traced job
+// serves Chrome trace_event JSON after it finishes; an untraced job 404s.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	j := submitAndWait(t, ts, traceBody)
+	if j.State != JobDone {
+		t.Fatalf("job state %s: %s", j.State, j.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", resp.StatusCode)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("trace body is not valid JSON: %v", err)
+	}
+	var events, meta int
+	var cellName string
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			events++
+		case "M":
+			meta++
+			if e.Name == "process_name" {
+				cellName, _ = e.Args["name"].(string)
+			}
+		}
+	}
+	if events == 0 {
+		t.Fatal("traced job produced no events")
+	}
+	if cellName != "go/see" {
+		t.Fatalf("cell process name %q, want go/see", cellName)
+	}
+	if meta == 0 {
+		t.Fatal("no metadata records")
+	}
+
+	// An untraced job has no trace resource.
+	plain := submitAndWait(t, ts, `{"configs":[{"name":"see","model":"see"}],"benchmarks":["go"],"insts":20000}`)
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced job trace: status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestTracedJobMatchesUntracedResult: tracing must not perturb the
+// rendered table (the server-side face of the golden-table guarantee).
+func TestTracedJobMatchesUntracedResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	plain := submitAndWait(t, ts, `{"configs":[{"name":"see","model":"see"}],"benchmarks":["go"],"insts":20000}`)
+	traced := submitAndWait(t, ts, traceBody)
+	a := getResult(t, ts, plain.ID)
+	b := getResult(t, ts, traced.ID)
+	if a.Text != b.Text {
+		t.Fatalf("traced job rendered a different table:\n--- untraced ---\n%s\n--- traced ---\n%s", a.Text, b.Text)
+	}
+}
+
+// TestTraceRequestValidation: trace_limit needs trace, and negatives are
+// rejected.
+func TestTraceRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"experiment":"table1","trace_limit":100}`,
+		`{"experiment":"table1","trace":true,"trace_limit":-1}`,
+	} {
+		resp, data := post(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestHealthzReportsVersion: the liveness probe carries the build
+// identity so fleet dashboards can tell deployed revisions apart.
+func TestHealthzReportsVersion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("status %q", body["status"])
+	}
+	if body["version"] == "" {
+		t.Fatal("healthz did not report a version")
+	}
+}

@@ -31,6 +31,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
@@ -62,6 +64,11 @@ type Config struct {
 	// canonical config hash, so memoized cells stay shared with unaudited
 	// runs.
 	Audit pipeline.AuditLevel
+	// TraceLimit is the total number of cycle-level trace events retained
+	// per traced job (default 1<<18). Cells whose captured stream would
+	// exceed the remaining budget are dropped whole and counted. Tracing
+	// is observation-only: results and memoization are unchanged.
+	TraceLimit int
 	// CrashThreshold is how many contained worker crashes (panics or
 	// machine checks) a request signature may accumulate before further
 	// submissions of it are refused with HTTP 403 (default 3).
@@ -81,6 +88,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueCapacity < 1 {
 		c.QueueCapacity = 16
 	}
+	if c.TraceLimit < 1 {
+		c.TraceLimit = 1 << 18
+	}
 	if c.CrashThreshold < 1 {
 		c.CrashThreshold = 3
 	}
@@ -99,6 +109,12 @@ type Server struct {
 	memo  *cache.LRU[harness.MemoValue]
 	quar  *quarantine
 
+	// Observability (see metrics.go): the Prometheus registry behind
+	// GET /metrics, plus the histograms runJob feeds directly.
+	reg     *metrics.Registry
+	jobDur  map[JobState]*metrics.Histogram
+	cellDur *metrics.Histogram
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	nextID uint64
@@ -114,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		s.memo = cache.NewLRU[harness.MemoValue](cfg.CacheCells)
 	}
 	s.sched = newScheduler(cfg.Workers, cfg.QueueCapacity, s.runJob)
+	s.initMetrics()
 	if cfg.JournalPath != "" {
 		n, err := s.loadJournal(cfg.JournalPath)
 		if err != nil {
@@ -184,6 +201,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	return mux
 }
 
@@ -328,6 +347,7 @@ func (s *Server) runJob(j *Job) {
 				s.svc.CellsSimulated.Add(1)
 				s.svc.SimInsts.Add(ev.Committed)
 				s.svc.SimNanos.Add(int64(ev.Elapsed))
+				s.cellDur.Observe(ev.Elapsed.Seconds())
 			}
 		},
 	}
@@ -336,6 +356,20 @@ func (s *Server) runJob(j *Job) {
 	}
 	if s.cfg.Audit != pipeline.AuditOff {
 		opts.Audit = s.cfg.Audit
+	}
+	if j.Request.Trace {
+		// Per-cell ring capacity: the client's trace_limit, bounded by the
+		// server's whole-job budget (which also caps total retention).
+		perCell := j.Request.TraceLimit
+		if perCell <= 0 || perCell > s.cfg.TraceLimit {
+			perCell = s.cfg.TraceLimit
+		}
+		tr := newJobTrace(s.cfg.TraceLimit)
+		s.mu.Lock()
+		j.trace = tr
+		s.mu.Unlock()
+		opts.TraceLimit = perCell
+		opts.OnTrace = tr.add
 	}
 
 	text, err, crashed := s.renderContained(j, opts)
@@ -373,6 +407,7 @@ func (s *Server) runJob(j *Job) {
 		j.Error = err.Error()
 		s.svc.JobsFailed.Add(1)
 	}
+	s.observeJobDuration(j.State, finished.Sub(now))
 	s.cfg.Log.Printf("polyserve: %s %s (%s) in %s", j.ID, j.State, j.describe(), finished.Sub(now).Round(time.Millisecond))
 }
 
@@ -541,7 +576,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": obs.Version()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
