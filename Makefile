@@ -1,16 +1,19 @@
 GO ?= go
 INSTS ?= 400000
 BENCHTIME ?= 2s
+FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke trace-smoke clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke trace-smoke fuzz-smoke cover-sched clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order, so hidden
+# inter-test dependencies fail loudly instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -66,6 +69,22 @@ trace-smoke:
 # (quarantining the offender), and a torn journal must recover on restart.
 chaos-smoke:
 	./scripts/chaos_smoke.sh
+
+# fuzz-smoke explores the pipeline-vs-interpreter differential oracle
+# for FUZZTIME beyond the committed seed corpus. Any crasher it finds is
+# a real simulator correctness bug by construction.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineVsInterp$$' -fuzztime $(FUZZTIME) ./internal/isa/progfuzz
+
+# cover-sched gates the deterministic scheduler: the engine every
+# experiment's bit-for-bit reproducibility rests on must keep >= 85%
+# statement coverage, measured under the race detector.
+cover-sched:
+	@$(GO) test -race -coverprofile=sched.coverprofile ./internal/sched
+	@total=$$($(GO) tool cover -func=sched.coverprofile | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f sched.coverprofile; \
+	echo "internal/sched statement coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { if (t+0 < 85) { print "FAIL: internal/sched coverage " t "% is below the 85% gate"; exit 1 } }'
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bpred"
@@ -243,6 +244,43 @@ func BenchmarkHarnessSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkHarnessParallel measures the internal/sched sharded
+// experiment engine at fixed worker counts over one representative
+// RunConfigs sweep (2 benchmarks x 3 configurations). The j1/j2/j4
+// sub-benchmarks quantify the parallel speedup on the snapshot machine;
+// the rendered results are byte-identical at every width, so only wall
+// time may differ. Note that on a single-core machine (GOMAXPROCS=1)
+// j2/j4 cannot beat j1 — the committed BENCH snapshot records whatever
+// the hardware honestly delivers.
+func BenchmarkHarnessParallel(b *testing.B) {
+	configs := []harness.NamedConfig{
+		{Name: "monopath", Cfg: core.ConfigMonopath()},
+		{Name: "see", Cfg: core.ConfigSEE()},
+		{Name: "dualpath", Cfg: core.ConfigDualPath()},
+	}
+	for _, j := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			var committed uint64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts()
+				opts.Parallelism = j
+				m, err := harness.RunConfigs(opts, configs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, bench := range m.Benchmarks {
+					for _, cfg := range m.Configs {
+						if c := m.Cell(bench, cfg); c != nil {
+							committed += c.Stats.Committed
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
 }
 
 // BenchmarkCtxTagComparator measures the hierarchy comparator of Fig. 5.

@@ -5,6 +5,10 @@
 //	experiments -exp all                 # everything (Table 1, Fig 8-12, ablations)
 //	experiments -exp fig8 -insts 800000  # one experiment, longer runs
 //	experiments -exp fig10 -bench go,gcc # restrict the benchmark suite
+//	experiments -exp fig8 -j 8           # shard cells over 8 workers
+//
+// Cells are sharded through the deterministic internal/sched engine, so
+// the output is byte-identical under any -j value.
 //
 // Output is plain text: one block per experiment, formatted as the
 // rows/series the paper reports. See EXPERIMENTS.md for the recorded
@@ -32,6 +36,7 @@ func main() {
 	insts := flag.Uint64("insts", 0, "dynamic instructions per benchmark (0 = default 400k)")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	par := flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+	jFlag := flag.Int("j", 0, "worker shards for parallel simulation (alias of -par; takes precedence when both are set). Tables are byte-identical under any value")
 	reps := flag.Int("reps", 0, "workload-seed replicates averaged per cell (0/1 = single run)")
 	audit := flag.String("audit", "off", "invariant-audit level: off, commit, cycle (results are identical at every level)")
 	traceFile := flag.String("trace", "", "write a merged cycle-level Chrome/Perfetto trace of every simulated cell to this file (observation-only: tables are unchanged)")
@@ -49,7 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	opts := harness.Options{TargetInsts: *insts, Parallelism: *par, Replicates: *reps, Audit: auditLevel}
+	parallelism := *par
+	if *jFlag > 0 {
+		parallelism = *jFlag
+	}
+	opts := harness.Options{TargetInsts: *insts, Parallelism: parallelism, Replicates: *reps, Audit: auditLevel}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}

@@ -6,6 +6,16 @@
 //	curl -s localhost:8080/v1/healthz
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"experiment":"fig8","insts":50000}'
 //
+// POST /v1/sweeps fans a configuration sweep into sharded cells on the
+// deterministic scheduler (results are byte-identical under any
+// "parallelism"), streams per-cell completions via
+// GET /v1/sweeps/{id}/cells?after=N, and reports shard progress in
+// /metrics:
+//
+//	curl -s -X POST localhost:8080/v1/sweeps -d \
+//	  '{"configs":[{"name":"mono","model":"monopath"},{"name":"see","model":"see"}],
+//	    "insts":50000,"parallelism":8}'
+//
 // On SIGINT/SIGTERM the server drains gracefully: in-flight jobs finish,
 // still-queued jobs are journaled to -journal and resumed on restart.
 package main

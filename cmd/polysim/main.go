@@ -10,6 +10,11 @@
 //	polysim -bench go -model see-oracle-ce  # SEE with perfect confidence
 //	polysim -bench m88ksim -model adaptive  # SEE + PVN monitor
 //
+// Multi-model comparison (sharded through internal/sched; the table is
+// byte-identical under any -j):
+//
+//	polysim -bench gcc -compare monopath,dualpath,see -j 4
+//
 // Observability:
 //
 //	polysim -bench compress -model dualpath -trace trace.json
@@ -40,6 +45,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
@@ -52,6 +58,8 @@ func main() {
 	bench := flag.String("bench", "go", "benchmark: compress,gcc,perl,go,m88ksim,xlisp,vortex,jpeg")
 	asmFile := flag.String("asm", "", "simulate an assembly file instead of a generated benchmark")
 	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
+	compare := flag.String("compare", "", "comma-separated models to run side by side through the sharded harness; prints one IPC table instead of a single-model report")
+	jobs := flag.Int("j", 0, "worker shards for -compare (0 = GOMAXPROCS); the table is byte-identical under any value")
 	insts := flag.Uint64("insts", 0, "dynamic instructions (0 = default 400k)")
 	window := flag.Int("window", 0, "instruction window size (0 = 256)")
 	depth := flag.Int("depth", 0, "total pipeline depth (0 = 8)")
@@ -71,6 +79,22 @@ func main() {
 
 	if *version {
 		fmt.Println("polysim", obs.Version())
+		return
+	}
+
+	if *compare != "" {
+		// The multi-config path is the harness's deterministic sharded
+		// engine; the single-model observability hooks don't apply there.
+		for flagName, set := range map[string]bool{
+			"-asm": *asmFile != "", "-disasm": *disasm, "-mix": *mix,
+			"-timeline": *timeline > 0, "-trace": *traceFile != "",
+			"-debug-addr": *debugAddr != "", "-seed": *seed != 0,
+		} {
+			if set {
+				fail(fmt.Errorf("%s is incompatible with -compare", flagName))
+			}
+		}
+		runCompare(*compare, *jobs, *bench, *insts, *audit, *window, *depth, *units, *histBits)
 		return
 	}
 
@@ -161,6 +185,49 @@ func main() {
 	if ring != nil {
 		fail(writeTrace(*traceFile, *traceFormat, *bench+"/"+*model, ring))
 	}
+}
+
+// runCompare simulates the benchmark under every named model at once,
+// sharded over -j workers by the same deterministic engine behind
+// cmd/experiments and polyserve sweeps, and prints the IPC table.
+// Machine-parameter flag overrides apply to every model uniformly.
+func runCompare(models string, workers int, bench string, insts uint64, audit string, window, depth, units, histBits int) {
+	auditLevel, err := pipeline.ParseAuditLevel(audit)
+	fail(err)
+	var mods []pipeline.Option
+	if window > 0 {
+		mods = append(mods, pipeline.WithWindowSize(window))
+	}
+	if depth > 0 {
+		mods = append(mods, pipeline.WithPipelineDepth(depth))
+	}
+	if units > 0 {
+		mods = append(mods, pipeline.WithUniformUnits(units))
+	}
+	if histBits > 0 {
+		mods = append(mods, pipeline.WithHistoryBits(histBits))
+	}
+	var configs []harness.NamedConfig
+	for _, name := range strings.Split(models, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		base, err := core.ModelConfig(name)
+		fail(err)
+		cfg, err := pipeline.NewConfigFrom(base, mods...)
+		fail(err)
+		configs = append(configs, harness.NamedConfig{Name: name, Cfg: cfg})
+	}
+	opts := harness.Options{
+		TargetInsts: insts,
+		Parallelism: workers,
+		Benchmarks:  []string{bench},
+		Audit:       auditLevel,
+	}
+	m, err := harness.RunConfigs(opts, configs)
+	fail(err)
+	fmt.Print(harness.RenderTable(fmt.Sprintf("%s: model comparison (IPC)", bench), m))
 }
 
 // writeTrace exports the captured ring to path in the requested format.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 300_000, "dynamic instructions per benchmark")
+	flag.Parse()
 	estimators := []struct {
 		name string
 		cfg  func() core.Config
@@ -44,7 +47,7 @@ func main() {
 	// go: chaotic branches (clustered misses, high PVN — SEE-friendly).
 	// m88ksim: biased branches (isolated misses, low PVN — the anomaly).
 	for _, name := range []string{"go", "m88ksim"} {
-		bm, err := workload.ByName(name, 300_000)
+		bm, err := workload.ByName(name, *insts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,11 +16,13 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 300_000, "dynamic instructions per benchmark")
+	flag.Parse()
 	fmt.Println("benchmark   monopath     dual-path       SEE    dual/SEE-gain   avg-paths  <=3-paths")
 	var sumFrac float64
 	var counted int
 	for _, name := range []string{"compress", "gcc", "perl", "go"} {
-		bm, err := workload.ByName(name, 300_000)
+		bm, err := workload.ByName(name, *insts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,43 @@
+// Package examples_test smoke-tests every runnable example: each one is
+// built and executed with a tiny -insts budget and must exit 0. This
+// keeps the examples compiling AND running as the internal APIs evolve —
+// a doc-rot guard, not a correctness oracle.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running every example is not short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+dir, "-insts", "3000")
+			cmd.Dir = ".." // module root, where go run resolves the package path
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

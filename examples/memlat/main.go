@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,7 +18,9 @@ import (
 )
 
 func main() {
-	bm, err := workload.ByName("gcc", 300_000)
+	insts := flag.Uint64("insts", 300_000, "dynamic instructions to simulate")
+	flag.Parse()
+	bm, err := workload.ByName("gcc", *insts)
 	if err != nil {
 		log.Fatal(err)
 	}

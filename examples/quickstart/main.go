@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,13 +14,16 @@ import (
 )
 
 func main() {
+	insts := flag.Uint64("insts", 200_000, "dynamic instructions to simulate")
+	flag.Parse()
+
 	// A custom workload: a loop body with two hard-to-predict branches
 	// (70% and 50% taken), one periodic branch, and one inner loop —
 	// roughly "compress"-shaped control flow.
 	spec := workload.Spec{
 		Name:        "quickstart",
 		Seed:        42,
-		TargetInsts: 200_000,
+		TargetInsts: *insts,
 		Branches: []workload.BranchSpec{
 			{Kind: workload.KindBernoulli, Bias: 0.7},
 			{Kind: workload.KindBernoulli, Bias: 0.5},

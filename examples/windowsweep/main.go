@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,7 +14,9 @@ import (
 )
 
 func main() {
-	bm, err := workload.ByName("compress", 200_000)
+	insts := flag.Uint64("insts", 200_000, "dynamic instructions to simulate")
+	flag.Parse()
+	bm, err := workload.ByName("compress", *insts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,16 +15,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
-	"runtime/debug"
-	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -57,6 +55,19 @@ type CellEvent struct {
 	Committed uint64
 	Cycles    uint64
 	Elapsed   time.Duration
+	// Shard is the scheduler worker that executed the cell, in
+	// [0, Parallelism). Observability only: results never depend on it.
+	Shard int
+}
+
+// CellID is the stable identity of one (benchmark, config, replicate)
+// cell, used as the sched task ID and in the /v1/sweeps cell stream:
+// "bench/config" for replicate 0, "bench/config/rN" beyond.
+func CellID(benchmark, config string, replicate int) string {
+	if replicate == 0 {
+		return benchmark + "/" + config
+	}
+	return fmt.Sprintf("%s/%s/r%d", benchmark, config, replicate)
 }
 
 // Options configure an experiment run.
@@ -99,6 +110,10 @@ type Options struct {
 	// order, and how many events the capture bound dropped. It may be
 	// called concurrently from worker goroutines.
 	OnTrace func(ev CellEvent, events []pipeline.TraceEvent, dropped uint64)
+	// Observer, when non-nil, receives scheduler lifecycle events
+	// (task started/done per shard) for every simulation cell. polyserve
+	// wires this to its sweep shard metrics.
+	Observer sched.Observer
 }
 
 func (o Options) context() context.Context {
@@ -139,38 +154,35 @@ func (o Options) suite() ([]workload.Benchmark, [][]*isa.Program, error) {
 			bms = append(bms, bm)
 		}
 	}
+	// Generation is sharded through the same deterministic engine as the
+	// cells: each (benchmark, replicate) is one task with a stable ID, and
+	// the positional merge fills progs identically under any worker count.
 	reps := o.replicates()
-	progs := make([][]*isa.Program, len(bms))
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	sem := make(chan struct{}, o.parallelism())
-	for i, bm := range bms {
-		progs[i] = make([]*isa.Program, reps)
+	type genJob struct{ bench, rep int }
+	jobs := make([]genJob, 0, len(bms)*reps)
+	for i := range bms {
 		for r := 0; r < reps; r++ {
-			wg.Add(1)
-			go func(i, r int, bm workload.Benchmark) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				spec := bm.Spec
-				spec.Seed += int64(1000 * r)
-				p, err := workload.Generate(spec)
-				if err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-					return
-				}
-				progs[i][r] = p
-			}(i, r, bm)
+			jobs = append(jobs, genJob{bench: i, rep: r})
 		}
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, nil, errs[0]
+	res, err := sched.Map(
+		sched.Options{Workers: o.parallelism(), Context: o.context()},
+		jobs,
+		func(j genJob, _ int) string { return "gen/" + CellID(bms[j.bench].Spec.Name, "workload", j.rep) },
+		func(tc *sched.TaskContext, j genJob) (*isa.Program, error) {
+			spec := bms[j.bench].Spec
+			spec.Seed += int64(1000 * j.rep)
+			return workload.Generate(spec)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	progs := make([][]*isa.Program, len(bms))
+	for i := range bms {
+		progs[i] = make([]*isa.Program, reps)
+	}
+	for k, j := range jobs {
+		progs[j.bench][j.rep] = res[k].Value
 	}
 	return bms, progs, nil
 }
@@ -256,10 +268,18 @@ func memoKey(spec workload.Spec, cfgHash string) string {
 	return fmt.Sprintf("w=%s:%d:%d|c=%s", spec.Name, spec.Seed, spec.TargetInsts, cfgHash)
 }
 
-// runMatrix simulates every benchmark under every configuration, in
-// parallel, reusing one generated program per benchmark. With Options.Memo
-// set, previously-simulated cells replay from the cache; with
-// Options.Context set, cancellation aborts in-flight cycle loops.
+// runMatrix simulates every benchmark under every configuration through
+// the internal/sched engine, reusing one generated program per
+// (benchmark, replicate). With Options.Memo set, previously-simulated
+// cells replay from the cache; with Options.Context set, cancellation
+// aborts in-flight cycle loops.
+//
+// Determinism contract: cells are submitted in (benchmark, config,
+// replicate) order with stable IDs, the engine merges results
+// positionally, and the matrix is reduced sequentially afterwards — so
+// the matrix (and any table rendered from it) is bit-identical under any
+// Parallelism, and the first error reported is the lowest-ordered
+// failing cell, every run.
 func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 	ctx := opts.context()
 	bms, progs, err := opts.suite()
@@ -308,119 +328,109 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 			}
 		}
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	sem := make(chan struct{}, opts.parallelism())
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			// Containment of last resort: a panic in a cell (outside the
-			// pipeline's own machine-check containment) fails the cell, not
-			// the process.
-			defer func() {
-				if r := recover(); r != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("%s/%s: cell panic: %v\n%s", j.bench, j.nc.Name, r, debug.Stack()))
-					mu.Unlock()
-				}
-			}()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				mu.Lock()
-				errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
-				mu.Unlock()
-				return
-			}
-			var (
-				val       MemoValue
-				fromCache bool
-				key       string
-				ring      *obs.Ring
-			)
-			start := time.Now()
-			if opts.Memo != nil {
-				key = memoKey(j.spec, j.hash)
-				val, fromCache = opts.Memo.Get(key)
-			}
-			if !fromCache {
-				cfg := j.nc.Cfg
-				if opts.Audit != pipeline.AuditOff {
-					cfg.Audit = opts.Audit
-				}
-				var tr pipeline.Tracer
-				if opts.TraceLimit > 0 && opts.OnTrace != nil {
-					ring = obs.NewRing(opts.TraceLimit)
-					tr = ring
-				}
-				res, err := core.RunContextTracer(ctx, j.prog, cfg, tr)
-				if err != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err))
-					mu.Unlock()
-					return
-				}
-				val = MemoValue{IPC: res.IPC, Stats: res.Stats}
+
+	type cellOut struct {
+		val       MemoValue
+		fromCache bool
+	}
+	tasks := make([]sched.Task[cellOut], len(jobs))
+	for i, j := range jobs {
+		j := j
+		tasks[i] = sched.Task[cellOut]{
+			ID: CellID(j.bench, j.nc.Name, j.rep),
+			Run: func(tc *sched.TaskContext) (cellOut, error) {
+				var (
+					out  cellOut
+					key  string
+					ring *obs.Ring
+				)
+				start := time.Now()
 				if opts.Memo != nil {
-					opts.Memo.Put(key, val)
+					key = memoKey(j.spec, j.hash)
+					out.val, out.fromCache = opts.Memo.Get(key)
 				}
-			}
-			cellEv := CellEvent{
-				Benchmark: j.bench,
-				Config:    j.nc.Name,
-				Replicate: j.rep,
-				FromCache: fromCache,
-				IPC:       val.IPC,
-				Committed: val.Stats.Committed,
-				Cycles:    val.Stats.Cycles,
-				Elapsed:   time.Since(start),
-			}
-			if ring != nil {
-				opts.OnTrace(cellEv, ring.Snapshot(), ring.Dropped())
-			}
-			if opts.OnCell != nil {
-				opts.OnCell(cellEv)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			cell := mat.cells[j.bench][j.nc.Name]
-			if cell == nil {
-				cell = &Cell{
+				if !out.fromCache {
+					cfg := j.nc.Cfg
+					if opts.Audit != pipeline.AuditOff {
+						cfg.Audit = opts.Audit
+					}
+					var tr pipeline.Tracer
+					if opts.TraceLimit > 0 && opts.OnTrace != nil {
+						ring = obs.NewRing(opts.TraceLimit)
+						tr = ring
+					}
+					res, err := core.RunContextTracer(tc.Context, j.prog, cfg, tr)
+					if err != nil {
+						return out, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err)
+					}
+					out.val = MemoValue{IPC: res.IPC, Stats: res.Stats}
+					if opts.Memo != nil {
+						opts.Memo.Put(key, out.val)
+					}
+				}
+				cellEv := CellEvent{
 					Benchmark: j.bench,
 					Config:    j.nc.Name,
-					ipcByRep:  make([]float64, reps),
+					Replicate: j.rep,
+					FromCache: out.fromCache,
+					IPC:       out.val.IPC,
+					Committed: out.val.Stats.Committed,
+					Cycles:    out.val.Stats.Cycles,
+					Elapsed:   time.Since(start),
+					Shard:     tc.Shard,
 				}
-				mat.cells[j.bench][j.nc.Name] = cell
-			}
-			cell.ipcByRep[j.rep] = val.IPC
-			if j.rep == 0 {
-				// Replicate 0 (the suite's canonical seed) carries the
-				// detailed statistics; extra replicates only tighten IPC.
-				cell.Stats = val.Stats
-			}
-		}(j)
+				if ring != nil {
+					opts.OnTrace(cellEv, ring.Snapshot(), ring.Dropped())
+				}
+				if opts.OnCell != nil {
+					opts.OnCell(cellEv)
+				}
+				return out, nil
+			},
+		}
 	}
-	wg.Wait()
-	// Deterministic reduction regardless of goroutine completion order.
+	// ContainPanics: a panic in a cell (outside the pipeline's own
+	// machine-check containment) fails the cell, not the process.
+	results, runErr := sched.Run(sched.Options{
+		Workers:       opts.parallelism(),
+		Context:       ctx,
+		ContainPanics: true,
+		Observer:      opts.Observer,
+	}, tasks, nil)
+	if runErr != nil {
+		// Task errors already carry the cell identity (the sim path wraps
+		// with bench/config, a contained panic is a *sched.PanicError
+		// naming its task); cancellation skips are the bare context error.
+		return nil, runErr
+	}
+	// Order-preserving merge: fill the matrix from the positional results,
+	// strictly sequentially, in submission order.
+	for i, j := range jobs {
+		cell := mat.cells[j.bench][j.nc.Name]
+		if cell == nil {
+			cell = &Cell{
+				Benchmark: j.bench,
+				Config:    j.nc.Name,
+				ipcByRep:  make([]float64, reps),
+			}
+			mat.cells[j.bench][j.nc.Name] = cell
+		}
+		val := results[i].Value.val
+		cell.ipcByRep[j.rep] = val.IPC
+		if j.rep == 0 {
+			// Replicate 0 (the suite's canonical seed) carries the
+			// detailed statistics; extra replicates only tighten IPC.
+			cell.Stats = val.Stats
+		}
+	}
 	for _, row := range mat.cells {
 		for _, cell := range row {
-			if cell == nil {
-				continue
-			}
 			sum := 0.0
 			for _, v := range cell.ipcByRep {
 				sum += v
 			}
 			cell.IPC = sum / float64(len(cell.ipcByRep))
 		}
-	}
-	if len(errs) > 0 {
-		sort.Slice(errs, func(a, b int) bool { return errs[a].Error() < errs[b].Error() })
-		return nil, errs[0]
 	}
 	return mat, nil
 }

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// goldenSweepConfigs is a representative custom sweep: three models whose cells
+// have very different costs, so parallel completion order genuinely
+// scrambles relative to submission order.
+func goldenSweepConfigs() []NamedConfig {
+	return []NamedConfig{
+		{Name: "monopath", Cfg: core.ConfigMonopath()},
+		{Name: "see", Cfg: core.ConfigSEE()},
+		{Name: "dualpath", Cfg: core.ConfigDualPath()},
+	}
+}
+
+// TestParallelMatchesSequentialGolden is the engine's central guarantee,
+// enforced rather than assumed: RunConfigs with Parallelism: 1 and with
+// Parallelism: N must render byte-identical tables (and identical cell
+// statistics) for the same sweep. CI runs this under -race, so it also
+// proves the sharded path is data-race-free.
+func TestParallelMatchesSequentialGolden(t *testing.T) {
+	base := Options{
+		TargetInsts: 20000,
+		Benchmarks:  []string{"compress", "gcc", "go"},
+		Replicates:  2,
+	}
+
+	seq := base
+	seq.Parallelism = 1
+	mSeq, err := RunConfigs(seq, goldenSweepConfigs())
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	golden := RenderTable("parallel-golden sweep (IPC)", mSeq)
+	if !strings.Contains(golden, "hmean") {
+		t.Fatalf("golden table looks malformed:\n%s", golden)
+	}
+
+	for _, par := range []int{2, 8} {
+		opts := base
+		opts.Parallelism = par
+		m, err := RunConfigs(opts, goldenSweepConfigs())
+		if err != nil {
+			t.Fatalf("parallel run (-j %d): %v", par, err)
+		}
+		if got := RenderTable("parallel-golden sweep (IPC)", m); got != golden {
+			t.Errorf("-j %d table differs from -j 1 (must be byte-identical):\n-- sequential --\n%s\n-- parallel --\n%s", par, golden, got)
+		}
+		for _, b := range mSeq.Benchmarks {
+			for _, c := range mSeq.Configs {
+				c1, c2 := mSeq.Cell(b, c), m.Cell(b, c)
+				if c1.IPC != c2.IPC || !reflect.DeepEqual(c1.Stats, c2.Stats) {
+					t.Errorf("-j %d: cell %s/%s diverged from sequential run", par, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCellEventsCoverEveryCell: the OnCell stream under parallel
+// execution reports every (benchmark, config, replicate) cell exactly
+// once, with shard assignments inside the worker bound.
+func TestParallelCellEventsCoverEveryCell(t *testing.T) {
+	const par = 4
+	var mu sync.Mutex
+	seen := map[string]int{}
+	opts := Options{
+		TargetInsts: 10000,
+		Benchmarks:  []string{"compress", "gcc"},
+		Replicates:  2,
+		Parallelism: par,
+		OnCell: func(ev CellEvent) {
+			if ev.Shard < 0 || ev.Shard >= par {
+				t.Errorf("cell %s/%s shard %d outside [0,%d)", ev.Benchmark, ev.Config, ev.Shard, par)
+			}
+			mu.Lock()
+			seen[CellID(ev.Benchmark, ev.Config, ev.Replicate)]++
+			mu.Unlock()
+		},
+	}
+	if _, err := RunConfigs(opts, goldenSweepConfigs()); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * 2 // benchmarks x configs x replicates
+	if len(seen) != want {
+		t.Fatalf("OnCell saw %d distinct cells, want %d", len(seen), want)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %s reported %d times", id, n)
+		}
+	}
+}
+
+// TestCellIDStability pins the cell-ID scheme: sweeps stream these IDs to
+// clients, so changing the format is an API break.
+func TestCellIDStability(t *testing.T) {
+	if got := CellID("gcc", "see", 0); got != "gcc/see" {
+		t.Errorf("CellID rep 0 = %q", got)
+	}
+	if got := CellID("gcc", "see", 3); got != "gcc/see/r3" {
+		t.Errorf("CellID rep 3 = %q", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package progfuzz generates structurally valid random programs with
+// chaotic control flow for differential testing: the pipeline simulator's
+// committed state and commit stream are checked cell-for-cell against the
+// internal/isa reference interpreter on the same program.
+//
+// The generator is shared by the pipeline's randomized equivalence test
+// (internal/pipeline/random_test.go) and the Go-native fuzz target in
+// this package (go test -fuzz FuzzPipelineVsInterp ./internal/isa/progfuzz),
+// so both exercise the identical program distribution: arbitrary
+// ALU/memory instructions, conditional branches, direct and indirect
+// jumps, calls and returns, with targets anywhere in the program.
+// Control flow may loop arbitrarily (including infinitely); simulations
+// cut by MaxInsts and the architectural check compares the committed
+// prefix against the interpreter at the same cut.
+package progfuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Generate builds a structurally valid random program of n instructions
+// (plus a trailing Halt) from the given source of randomness. It is a
+// pure function of the rng stream: the same rng state and n always yield
+// the same program.
+func Generate(rng *rand.Rand, n int) *isa.Program {
+	code := make([]isa.Inst, 0, n+1)
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(isa.NumRegs)) }
+	for i := 0; i < n; i++ {
+		var in isa.Inst
+		switch rng.Intn(12) {
+		case 0:
+			in = isa.Inst{Op: isa.Li, Dst: reg(), Imm: int64(rng.Intn(2048) - 1024)}
+		case 1:
+			in = isa.Inst{Op: isa.Load, Dst: reg(), Src1: reg(), Imm: int64(rng.Intn(64))}
+		case 2:
+			in = isa.Inst{Op: isa.Store, Src1: reg(), Src2: reg(), Imm: int64(rng.Intn(64))}
+		case 3, 4:
+			ops := []isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge}
+			target := rng.Intn(n)
+			if target == i+1 { // fall-through target is invalid
+				target = i
+			}
+			in = isa.Inst{Op: ops[rng.Intn(len(ops))], Src1: reg(), Src2: reg(), Target: int32(target)}
+		case 5:
+			in = isa.Inst{Op: isa.Jmp, Target: int32(rng.Intn(n))}
+		case 9:
+			in = isa.Inst{Op: isa.Jri, Src1: reg()}
+		case 10:
+			in = isa.Inst{Op: isa.Call, Dst: reg(), Target: int32(rng.Intn(n))}
+		case 11:
+			in = isa.Inst{Op: isa.Ret, Src1: reg()}
+		case 6:
+			in = isa.Inst{Op: isa.Mul, Dst: reg(), Src1: reg(), Src2: reg()}
+		case 7:
+			op := []isa.Op{isa.FAdd, isa.FMul}[rng.Intn(2)]
+			in = isa.Inst{Op: op, Dst: reg(), Src1: reg(), Src2: reg()}
+		case 8:
+			in = isa.Inst{Op: isa.Nop}
+		default:
+			ops := []isa.Op{isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr, isa.Slt,
+				isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Slti, isa.Shli, isa.Shri}
+			op := ops[rng.Intn(len(ops))]
+			in = isa.Inst{Op: op, Dst: reg(), Src1: reg(), Src2: reg(), Imm: int64(rng.Intn(256))}
+		}
+		code = append(code, in)
+	}
+	code = append(code, isa.Inst{Op: isa.Halt})
+	data := make([]int64, 128)
+	for i := range data {
+		data[i] = rng.Int63n(1 << 20)
+	}
+	return &isa.Program{Name: "random", Code: code, DataInit: data, MemWords: 256}
+}
+
+// FromSeed derives a program from a (seed, n) pair, the shape the fuzz
+// target's corpus uses. n is clamped into [MinProgLen, MaxProgLen] so any
+// fuzzer-chosen value maps onto a sensible program size.
+func FromSeed(seed int64, n uint64) *isa.Program {
+	size := MinProgLen + int(n%uint64(MaxProgLen-MinProgLen+1))
+	return Generate(rand.New(rand.NewSource(seed)), size)
+}
+
+// Program-size bounds for FromSeed: long enough to exercise nested
+// divergence and CTX reuse, short enough that a single fuzz execution
+// stays fast.
+const (
+	MinProgLen = 20
+	MaxProgLen = 160
+)
+
+// CommitStream functionally executes p on the reference interpreter and
+// returns the architectural PC stream — the PC of every instruction in
+// program order, including the final Halt — cut at maxInsts. This is the
+// oracle the pipeline's commit stream is differentially checked against.
+func CommitStream(p *isa.Program, maxInsts uint64) ([]int32, error) {
+	it := isa.NewInterp(p)
+	pcs := make([]int32, 0, maxInsts)
+	for !it.Halted && it.InstCount < maxInsts {
+		pcs = append(pcs, int32(it.PC))
+		if err := it.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return pcs, nil
+}

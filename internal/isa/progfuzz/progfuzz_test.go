@@ -1,0 +1,70 @@
+package progfuzz_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/isa/progfuzz"
+)
+
+// TestGenerateIsValidAndDeterministic: every generated program passes
+// Validate, ends in Halt, and is a pure function of the rng stream.
+func TestGenerateIsValidAndDeterministic(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		seed := int64(trial * 7919)
+		n := 20 + trial%120
+		p1 := progfuzz.Generate(rand.New(rand.NewSource(seed)), n)
+		if err := p1.Validate(); err != nil {
+			t.Fatalf("seed=%d n=%d: invalid program: %v", seed, n, err)
+		}
+		if len(p1.Code) != n+1 {
+			t.Fatalf("seed=%d n=%d: %d instructions, want %d", seed, n, len(p1.Code), n+1)
+		}
+		if p1.Code[n].Op != isa.Halt {
+			t.Fatalf("seed=%d n=%d: program does not end in Halt", seed, n)
+		}
+		p2 := progfuzz.Generate(rand.New(rand.NewSource(seed)), n)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("seed=%d n=%d: generation is not deterministic", seed, n)
+		}
+	}
+}
+
+// TestFromSeedClampsSize: any fuzzer-chosen n maps into the documented
+// program-size bounds.
+func TestFromSeedClampsSize(t *testing.T) {
+	for _, n := range []uint64{0, 1, 139, 1 << 40, ^uint64(0)} {
+		p := progfuzz.FromSeed(1, n)
+		code := len(p.Code) - 1 // minus the trailing Halt
+		if code < progfuzz.MinProgLen || code > progfuzz.MaxProgLen {
+			t.Fatalf("n=%d: program size %d outside [%d,%d]", n, code, progfuzz.MinProgLen, progfuzz.MaxProgLen)
+		}
+	}
+}
+
+// TestCommitStreamMatchesInterp: the oracle stream is exactly the
+// interpreter's dynamic PC sequence, cut at maxInsts, Halt included.
+func TestCommitStreamMatchesInterp(t *testing.T) {
+	p := progfuzz.FromSeed(99, 60)
+	pcs, err := progfuzz.CommitStream(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) == 0 || len(pcs) > 500 {
+		t.Fatalf("stream length %d outside (0,500]", len(pcs))
+	}
+	it := isa.NewInterp(p)
+	for i, pc := range pcs {
+		if int32(it.PC) != pc {
+			t.Fatalf("instruction %d: stream pc=%d, interpreter pc=%d", i, pc, it.PC)
+		}
+		if err := it.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if it.Halted && pcs[len(pcs)-1] != int32(len(p.Code)-1) && p.Code[pcs[len(pcs)-1]].Op != isa.Halt {
+		t.Fatal("halted execution's last committed instruction is not Halt")
+	}
+}

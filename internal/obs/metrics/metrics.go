@@ -103,6 +103,13 @@ func LatencyBuckets() []float64 {
 	return []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
 }
 
+// ShortLatencyBuckets are duration bounds (seconds) for fast, frequent
+// operations such as individual sweep cells: 100µs up to 10s. Use these
+// where LatencyBuckets would collapse everything into its first bucket.
+func ShortLatencyBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
 // metric is one labeled sample source inside a family.
 type metric struct {
 	labels string // raw label body, e.g. `state="done"` (may be empty)

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/isa/progfuzz"
 )
 
 // auditConfigs returns machine variants that exercise every major
@@ -73,7 +74,7 @@ func TestAuditCleanAcrossConfigs(t *testing.T) {
 func TestAuditCleanRandomPrograms(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	for i := 0; i < 6; i++ {
-		prog := randomProgram(rng, 120)
+		prog := progfuzz.Generate(rng, 120)
 		cfg := DefaultConfig()
 		cfg.MaxInsts = 20_000
 		cfg.Audit = AuditCycle

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/isa/progfuzz"
+	"repro/internal/workload"
+)
+
+// pcCollector records the committed-PC stream — the architectural program
+// order the machine retired.
+type pcCollector struct{ pcs []int32 }
+
+func (c *pcCollector) Event(ev TraceEvent) {
+	if ev.Kind == TraceCommit {
+		c.pcs = append(c.pcs, int32(ev.PC))
+	}
+}
+
+// runCollectingCommits simulates prog under cfg and returns the committed
+// PC stream and final cycle count, verifying architectural state.
+func runCollectingCommits(t *testing.T, prog *isa.Program, cfg Config) ([]int32, uint64) {
+	t.Helper()
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &pcCollector{}
+	m.SetTracer(col)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyArchState(); err != nil {
+		t.Fatal(err)
+	}
+	return col.pcs, m.Cycle()
+}
+
+// TestMetamorphicNoForkEqualsMonopath is the metamorphic equivalence
+// relation behind selective eager execution: a PolyPath machine whose
+// confidence estimator never reports low confidence (ConfAlwaysHigh)
+// never forks, so it must commit exactly the monopath baseline's
+// instruction stream — same PCs, same order, same length — and spend a
+// near-identical number of cycles doing it, across all eight workloads.
+// Any drift here means the PolyPath machinery perturbs the single-path
+// machine even when architecturally idle, which would invalidate every
+// "SEE speedup over monopath" number in the reproduction.
+func TestMetamorphicNoForkEqualsMonopath(t *testing.T) {
+	insts := uint64(30000)
+	if testing.Short() {
+		insts = 10000
+	}
+	for _, bm := range workload.Suite(insts) {
+		bm := bm
+		t.Run(bm.Spec.Name, func(t *testing.T) {
+			prog, err := workload.Generate(bm.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			noFork := DefaultConfig()
+			noFork.Confidence.Kind = ConfAlwaysHigh // threshold never met: zero forks
+
+			mono := DefaultConfig()
+			mono.Mode = Monopath
+			mono.Confidence.Kind = ConfAlwaysHigh
+
+			gotPCs, gotCycles := runCollectingCommits(t, prog, noFork)
+			wantPCs, wantCycles := runCollectingCommits(t, prog, mono)
+
+			if len(gotPCs) != len(wantPCs) {
+				t.Fatalf("no-fork PolyPath committed %d instructions, monopath %d", len(gotPCs), len(wantPCs))
+			}
+			for i := range wantPCs {
+				if gotPCs[i] != wantPCs[i] {
+					t.Fatalf("commit streams diverge at instruction %d: no-fork pc=%d, monopath pc=%d",
+						i, gotPCs[i], wantPCs[i])
+				}
+			}
+			// "Near-identical" cycle budget: currently the two are exactly
+			// equal; the tolerance only allows benign micro-differences in
+			// idle PolyPath bookkeeping, never a real performance gap.
+			lo, hi := wantCycles, gotCycles
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if float64(hi-lo) > 0.005*float64(wantCycles) {
+				t.Fatalf("cycle counts differ beyond 0.5%%: no-fork %d vs monopath %d", gotCycles, wantCycles)
+			}
+		})
+	}
+}
+
+// TestMetamorphicNoForkEqualsMonopathRandomPrograms extends the relation
+// beyond the structured suite: on random chaotic control flow the
+// never-fork machine must still track the baseline commit stream exactly.
+func TestMetamorphicNoForkEqualsMonopathRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		prog := progfuzz.Generate(rng, 40+rng.Intn(100))
+
+		noFork := DefaultConfig()
+		noFork.Confidence.Kind = ConfAlwaysHigh
+		noFork.MaxInsts = 5000
+
+		mono := DefaultConfig()
+		mono.Mode = Monopath
+		mono.Confidence.Kind = ConfAlwaysHigh
+		mono.MaxInsts = 5000
+
+		gotPCs, _ := runCollectingCommits(t, prog, noFork)
+		wantPCs, _ := runCollectingCommits(t, prog, mono)
+		if len(gotPCs) != len(wantPCs) {
+			t.Fatalf("trial %d: no-fork committed %d instructions, monopath %d", trial, len(gotPCs), len(wantPCs))
+		}
+		for i := range wantPCs {
+			if gotPCs[i] != wantPCs[i] {
+				t.Fatalf("trial %d: commit streams diverge at instruction %d (no-fork pc=%d, monopath pc=%d)",
+					trial, i, gotPCs[i], wantPCs[i])
+			}
+		}
+	}
+}

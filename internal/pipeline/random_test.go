@@ -4,63 +4,13 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/isa"
+	"repro/internal/isa/progfuzz"
 )
 
-// randomProgram generates a structurally valid random program: arbitrary
-// ALU/memory instructions, branches and jumps with random targets. The
-// control flow may loop arbitrarily (including infinitely); the simulation
-// is cut by MaxInsts, and the architectural check compares the committed
-// prefix against the interpreter at the same cut.
-func randomProgram(rng *rand.Rand, n int) *isa.Program {
-	code := make([]isa.Inst, 0, n+1)
-	reg := func() isa.Reg { return isa.Reg(rng.Intn(isa.NumRegs)) }
-	for i := 0; i < n; i++ {
-		var in isa.Inst
-		switch rng.Intn(12) {
-		case 0:
-			in = isa.Inst{Op: isa.Li, Dst: reg(), Imm: int64(rng.Intn(2048) - 1024)}
-		case 1:
-			in = isa.Inst{Op: isa.Load, Dst: reg(), Src1: reg(), Imm: int64(rng.Intn(64))}
-		case 2:
-			in = isa.Inst{Op: isa.Store, Src1: reg(), Src2: reg(), Imm: int64(rng.Intn(64))}
-		case 3, 4:
-			ops := []isa.Op{isa.Beq, isa.Bne, isa.Blt, isa.Bge}
-			target := rng.Intn(n)
-			if target == i+1 { // fall-through target is invalid
-				target = i
-			}
-			in = isa.Inst{Op: ops[rng.Intn(len(ops))], Src1: reg(), Src2: reg(), Target: int32(target)}
-		case 5:
-			in = isa.Inst{Op: isa.Jmp, Target: int32(rng.Intn(n))}
-		case 9:
-			in = isa.Inst{Op: isa.Jri, Src1: reg()}
-		case 10:
-			in = isa.Inst{Op: isa.Call, Dst: reg(), Target: int32(rng.Intn(n))}
-		case 11:
-			in = isa.Inst{Op: isa.Ret, Src1: reg()}
-		case 6:
-			in = isa.Inst{Op: isa.Mul, Dst: reg(), Src1: reg(), Src2: reg()}
-		case 7:
-			op := []isa.Op{isa.FAdd, isa.FMul}[rng.Intn(2)]
-			in = isa.Inst{Op: op, Dst: reg(), Src1: reg(), Src2: reg()}
-		case 8:
-			in = isa.Inst{Op: isa.Nop}
-		default:
-			ops := []isa.Op{isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr, isa.Slt,
-				isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Slti, isa.Shli, isa.Shri}
-			op := ops[rng.Intn(len(ops))]
-			in = isa.Inst{Op: op, Dst: reg(), Src1: reg(), Src2: reg(), Imm: int64(rng.Intn(256))}
-		}
-		code = append(code, in)
-	}
-	code = append(code, isa.Inst{Op: isa.Halt})
-	data := make([]int64, 128)
-	for i := range data {
-		data[i] = rng.Int63n(1 << 20)
-	}
-	return &isa.Program{Name: "random", Code: code, DataInit: data, MemWords: 256}
-}
+// The random-program generator lives in internal/isa/progfuzz, shared
+// with that package's Go-native differential fuzz target
+// (FuzzPipelineVsInterp); this test keeps the fixed-trial randomized
+// sweep in the ordinary test suite.
 
 // TestRandomProgramsArchEquivalence is the simulator's fuzz oracle: across
 // many random programs with chaotic control flow, every machine model must
@@ -123,7 +73,7 @@ func TestRandomProgramsArchEquivalence(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(20260705))
 	for trial := 0; trial < trials; trial++ {
-		prog := randomProgram(rng, 40+rng.Intn(80))
+		prog := progfuzz.Generate(rng, 40+rng.Intn(80))
 		if err := prog.Validate(); err != nil {
 			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
 		}

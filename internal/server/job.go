@@ -98,6 +98,9 @@ type Job struct {
 	// trace accumulates captured cell streams when Request.Trace is set
 	// (nil until the job starts running; see trace.go).
 	trace *jobTrace
+	// sweep is the sweep record this job executes (nil for plain jobs;
+	// see sweep.go). Journal-resumed jobs lose it by design.
+	sweep *sweepRec
 }
 
 // title returns the rendered-table title of a custom sweep.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,8 +55,57 @@ func (s *Server) initMetrics() {
 		JobCancelled: reg.Histogram("polyserve_job_duration_seconds", `state="cancelled"`, "", metrics.LatencyBuckets()),
 	}
 	s.cellDur = reg.Histogram("polyserve_cell_duration_seconds", "", "Per-cell simulation wall time (cache replays excluded).", metrics.LatencyBuckets())
+	reg.GaugeFunc("polyserve_sweep_cells_inflight", "", "Sweep cells currently executing on scheduler shards.", func() float64 {
+		return float64(s.sweepInflight.Load())
+	})
+	s.shardDur = make(map[int]*metrics.Histogram)
 	version := strings.ReplaceAll(obs.Version(), `"`, "'")
 	reg.GaugeFunc("polyserve_build_info", `version="`+version+`"`, "Build identity (constant 1).", func() float64 { return 1 })
+}
+
+// maxShardSeries caps the per-shard histogram label cardinality; shards
+// beyond it share one overflow series.
+const maxShardSeries = 32
+
+// shardHist returns the duration histogram of one scheduler shard,
+// registering the labeled series on first use. The registry is
+// mutex-guarded, so lazy registration is safe against concurrent
+// scrapes; s.shardMu only makes the check-then-register atomic.
+func (s *Server) shardHist(shard int) *metrics.Histogram {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if shard >= maxShardSeries || shard < 0 {
+		if s.shardOverflow == nil {
+			s.shardOverflow = s.reg.Histogram("polyserve_sweep_shard_duration_seconds",
+				`shard="overflow"`, "", metrics.ShortLatencyBuckets())
+		}
+		return s.shardOverflow
+	}
+	h := s.shardDur[shard]
+	if h == nil {
+		help := ""
+		if len(s.shardDur) == 0 {
+			help = "Per-cell wall time by the scheduler shard that ran it."
+		}
+		h = s.reg.Histogram("polyserve_sweep_shard_duration_seconds",
+			`shard="`+strconv.Itoa(shard)+`"`, help, metrics.ShortLatencyBuckets())
+		s.shardDur[shard] = h
+	}
+	return h
+}
+
+// sweepObserver adapts the scheduler's lifecycle callbacks onto the
+// server's sweep metrics: cells in flight and per-shard durations. It is
+// installed as harness Options.Observer for sweep jobs only.
+type sweepObserver struct{ s *Server }
+
+func (o sweepObserver) TaskStarted(shard int, id string) {
+	o.s.sweepInflight.Add(1)
+}
+
+func (o sweepObserver) TaskDone(shard int, id string, elapsed time.Duration, err error) {
+	o.s.sweepInflight.Add(-1)
+	o.s.shardHist(shard).Observe(elapsed.Seconds())
 }
 
 // observeJobDuration records a finished job's wall time into the

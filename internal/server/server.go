@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -115,16 +116,24 @@ type Server struct {
 	jobDur  map[JobState]*metrics.Histogram
 	cellDur *metrics.Histogram
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	nextID uint64
+	// Sweep-shard observability (see sweepObserver in metrics.go).
+	sweepInflight atomic.Int64
+	shardMu       sync.Mutex
+	shardDur      map[int]*metrics.Histogram
+	shardOverflow *metrics.Histogram
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	nextID    uint64
+	sweeps    map[string]*sweepRec
+	nextSweep uint64
 }
 
 // New builds a Server and, if cfg.JournalPath names a journal written by
 // a previous Drain, re-enqueues the jobs recorded there.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, jobs: make(map[string]*Job)}
+	s := &Server{cfg: cfg, jobs: make(map[string]*Job), sweeps: make(map[string]*sweepRec)}
 	s.quar = newQuarantine(cfg.CrashThreshold)
 	if cfg.CacheCells > 0 {
 		s.memo = cache.NewLRU[harness.MemoValue](cfg.CacheCells)
@@ -202,6 +211,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/quarantine", s.handleQuarantine)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/cells", s.handleSweepCells)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	mux.Handle("GET /metrics", s.MetricsHandler())
 	return mux
 }
@@ -215,6 +229,12 @@ var ErrQuarantined = errors.New("server: request quarantined after repeated work
 // ErrQueueFull, a draining server ErrDraining, and a repeatedly-crashing
 // request ErrQuarantined.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
+	return s.submit(req, nil)
+}
+
+// submit is the shared enqueue path of Submit and SubmitSweep; sw, when
+// non-nil, attaches the job to the sweep record it executes.
+func (s *Server) submit(req JobRequest, sw *sweepRec) (*Job, error) {
 	configs, err := req.resolve(s.cfg.MaxInsts)
 	if err != nil {
 		return nil, &RequestError{Err: err}
@@ -228,6 +248,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		Request:   req,
 		Submitted: time.Now().UTC(),
 		configs:   configs,
+		sweep:     sw,
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -357,6 +378,22 @@ func (s *Server) runJob(j *Job) {
 	if s.cfg.Audit != pipeline.AuditOff {
 		opts.Audit = s.cfg.Audit
 	}
+	if sw := j.sweep; sw != nil {
+		// Sweep jobs run under the requested shard count, report scheduler
+		// lifecycle into the shard metrics, and log every completed cell
+		// for the /v1/sweeps/{id}/cells stream. Per-cell wall time sums
+		// into the "serial seconds" counter; the job's own wall time is
+		// added below, so serial/wall is the observed sharding speedup.
+		opts.Parallelism = sw.parallelism
+		opts.Observer = sweepObserver{s}
+		prev := opts.OnCell
+		opts.OnCell = func(ev harness.CellEvent) {
+			prev(ev)
+			sw.addCell(ev)
+			s.svc.SweepCellsDone.Add(1)
+			s.svc.SweepSerialNanos.Add(int64(ev.Elapsed))
+		}
+	}
 	if j.Request.Trace {
 		// Per-cell ring capacity: the client's trace_limit, bounded by the
 		// server's whole-job budget (which also caps total retention).
@@ -398,6 +435,10 @@ func (s *Server) runJob(j *Job) {
 		j.State = JobDone
 		j.Result = &JobResult{Text: text, Cells: cells, CacheHits: cacheHits, SimInsts: simInsts}
 		s.svc.JobsCompleted.Add(1)
+		if j.sweep != nil {
+			s.svc.SweepsCompleted.Add(1)
+			s.svc.SweepWallNanos.Add(finished.Sub(now).Nanoseconds())
+		}
 	case errors.Is(err, context.Canceled):
 		j.State = JobCancelled
 		j.Error = "cancelled"
@@ -474,38 +515,52 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeBody strictly decodes a bounded JSON request body into v,
+// writing the 400 itself on failure (returns false).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return
+		return false
 	}
-	var req JobRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeSubmitError maps a Submit/SubmitSweep error to its HTTP status.
+func writeSubmitError(w http.ResponseWriter, err error, queueCapacity int) {
+	var reqErr *RequestError
+	var cfgErr *pipeline.ConfigError
+	switch {
+	case errors.As(err, &cfgErr), errors.As(err, &reqErr):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back. The hint
+		// scales with the backlog; precision is not required.
+		w.Header().Set("Retry-After", strconv.Itoa(2*queueCapacity))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrQuarantined):
+		writeError(w, http.StatusForbidden, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	j, err := s.Submit(req)
 	if err != nil {
-		var reqErr *RequestError
-		var cfgErr *pipeline.ConfigError
-		switch {
-		case errors.As(err, &cfgErr), errors.As(err, &reqErr):
-			writeError(w, http.StatusBadRequest, err)
-		case errors.Is(err, ErrQueueFull):
-			// Backpressure: tell the client when to come back. The hint
-			// scales with the backlog; precision is not required.
-			w.Header().Set("Retry-After", strconv.Itoa(2*s.cfg.QueueCapacity))
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrQuarantined):
-			writeError(w, http.StatusForbidden, err)
-		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err)
-		default:
-			writeError(w, http.StatusInternalServerError, err)
-		}
+		writeSubmitError(w, err, s.cfg.QueueCapacity)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
@@ -549,7 +604,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	s.writeJobResult(w, r.PathValue("id"))
+}
+
+// writeJobResult serves a job's result by state: 200 with the JobResult
+// when done, 410 when failed/cancelled, 202 + Retry-After otherwise.
+// Shared by /v1/results/{id} and /v1/sweeps/{id}/result.
+func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	var state JobState

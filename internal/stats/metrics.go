@@ -27,6 +27,21 @@ func (s *Service) Register(reg *metrics.Registry) {
 	ctr("polyserve_sim_insts_total", "", "Committed instructions across all simulated cells.", &s.SimInsts)
 	reg.CounterFunc("polyserve_sim_seconds_total", "", "Wall-clock seconds spent inside simulations.",
 		func() float64 { return float64(s.SimNanos.Load()) / 1e9 })
+	ctr("polyserve_sweeps_total", `state="submitted"`, "Batch sweeps by lifecycle state.", &s.SweepsSubmitted)
+	ctr("polyserve_sweeps_total", `state="completed"`, "", &s.SweepsCompleted)
+	ctr("polyserve_sweep_cells_total", "", "Cells completed inside sweeps (cache hits included).", &s.SweepCellsDone)
+	reg.CounterFunc("polyserve_sweep_serial_seconds_total", "", "Summed per-cell wall seconds inside sweeps.",
+		func() float64 { return float64(s.SweepSerialNanos.Load()) / 1e9 })
+	reg.CounterFunc("polyserve_sweep_wall_seconds_total", "", "Start-to-finish wall seconds of sweep jobs; serial/wall is the sharding speedup.",
+		func() float64 { return float64(s.SweepWallNanos.Load()) / 1e9 })
+	reg.GaugeFunc("polyserve_sweep_speedup", "", "Observed sweep speedup: serial seconds over wall seconds.",
+		func() float64 {
+			wall := s.SweepWallNanos.Load()
+			if wall <= 0 {
+				return 0
+			}
+			return float64(s.SweepSerialNanos.Load()) / float64(wall)
+		})
 }
 
 // Snapshot exports the histogram for the metrics registry: integer-valued

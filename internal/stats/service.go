@@ -25,6 +25,12 @@ type Service struct {
 
 	SimInsts atomic.Uint64 // committed instructions across all simulated cells
 	SimNanos atomic.Int64  // wall nanoseconds spent inside simulations
+
+	SweepsSubmitted  atomic.Uint64 // /v1/sweeps batch jobs accepted
+	SweepsCompleted  atomic.Uint64 // sweeps that finished successfully
+	SweepCellsDone   atomic.Uint64 // cells completed inside sweeps (cache hits included)
+	SweepSerialNanos atomic.Int64  // summed per-cell wall time inside sweeps ("serial seconds")
+	SweepWallNanos   atomic.Int64  // wall time of sweep jobs start-to-finish; serial/wall = speedup
 }
 
 // ServiceSnapshot is a consistent-enough point-in-time copy of the
@@ -48,6 +54,13 @@ type ServiceSnapshot struct {
 	SimInsts       uint64  `json:"sim_insts"`
 	SimWallSeconds float64 `json:"sim_wall_seconds"`
 	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+
+	SweepsSubmitted    uint64  `json:"sweeps_submitted"`
+	SweepsCompleted    uint64  `json:"sweeps_completed"`
+	SweepCellsDone     uint64  `json:"sweep_cells_done"`
+	SweepSerialSeconds float64 `json:"sweep_serial_seconds"`
+	SweepWallSeconds   float64 `json:"sweep_wall_seconds"`
+	SweepSpeedup       float64 `json:"sweep_speedup"` // serial/wall; >1 means sharding paid off
 }
 
 // Snapshot reads every counter and derives the throughput figures.
@@ -71,6 +84,16 @@ func (s *Service) Snapshot() ServiceSnapshot {
 	}
 	if nanos > 0 {
 		snap.SimInstsPerSec = float64(insts) / (float64(nanos) / 1e9)
+	}
+	serial := s.SweepSerialNanos.Load()
+	wall := s.SweepWallNanos.Load()
+	snap.SweepsSubmitted = s.SweepsSubmitted.Load()
+	snap.SweepsCompleted = s.SweepsCompleted.Load()
+	snap.SweepCellsDone = s.SweepCellsDone.Load()
+	snap.SweepSerialSeconds = float64(serial) / 1e9
+	snap.SweepWallSeconds = float64(wall) / 1e9
+	if wall > 0 {
+		snap.SweepSpeedup = float64(serial) / float64(wall)
 	}
 	return snap
 }

@@ -8,6 +8,10 @@
 #      output for the same experiment and options, and
 #   2. resubmitting the same job is served from the memoization cache
 #      (observed via the /v1/stats hit counter),
+#   3. cmd/experiments output is byte-identical under -j 8 and -j 1
+#      (the deterministic scheduler contract), and
+#   4. a /v1/sweeps batch runs sharded to completion, streams its cells,
+#      renders the same bytes as the jobs API, and shows up in /metrics,
 # then shuts the server down with SIGTERM and expects a clean drain.
 set -euo pipefail
 
@@ -76,6 +80,49 @@ if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
     exit 1
 fi
 echo "cache hits: $HITS"
+
+echo "== -j 8 must be byte-identical to -j 1 =="
+"$WORKDIR/experiments" -exp table1 -bench compress -insts 50000 -j 1 | sed '1d' > "$WORKDIR/cli-j1.txt"
+"$WORKDIR/experiments" -exp table1 -bench compress -insts 50000 -j 8 | sed '1d' > "$WORKDIR/cli-j8.txt"
+if ! diff -u "$WORKDIR/cli-j1.txt" "$WORKDIR/cli-j8.txt"; then
+    echo "FAIL: -j 8 output differs from -j 1" >&2
+    exit 1
+fi
+echo "sharded output byte-identical"
+
+echo "== sharded sweep through /v1/sweeps =="
+SWEEP_REQ='{"configs":[{"name":"monopath","model":"monopath"},{"name":"SEE","model":"see"}],"benchmarks":["compress"],"insts":50000,"parallelism":8,"title":"smoke sweep (IPC)"}'
+SWEEP_ID=$(curl -fsS -X POST "$BASE/sweeps" -d "$SWEEP_REQ" | sed -n 's/.*"id": "\(sweep-[^"]*\)".*/\1/p')
+[ -n "$SWEEP_ID" ] || { echo "no sweep id in submit response" >&2; exit 1; }
+for i in $(seq 1 300); do
+    state=$(curl -fsS "$BASE/sweeps/$SWEEP_ID" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "sweep $SWEEP_ID $state" >&2; exit 1 ;;
+    esac
+    if [ "$i" = 300 ]; then echo "sweep $SWEEP_ID did not finish" >&2; exit 1; fi
+    sleep 0.2
+done
+CELLS=$(curl -fsS "$BASE/sweeps/$SWEEP_ID/cells" | python3 -c 'import json,sys; p=json.load(sys.stdin); print(len(p["cells"]))')
+if [ "$CELLS" != 2 ]; then
+    echo "FAIL: sweep streamed $CELLS cells, expected 2" >&2
+    exit 1
+fi
+echo "sweep streamed $CELLS cells"
+curl -fsS "$BASE/sweeps/$SWEEP_ID/result" | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["text"])' > "$WORKDIR/sweep.txt"
+REQ='{"configs":[{"name":"monopath","model":"monopath"},{"name":"SEE","model":"see"}],"benchmarks":["compress"],"insts":50000,"title":"smoke sweep (IPC)"}'
+JOB_ID=$(submit_and_wait)
+curl -fsS "$BASE/results/$JOB_ID" | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["text"])' > "$WORKDIR/sweep-job.txt"
+if ! diff -u "$WORKDIR/sweep-job.txt" "$WORKDIR/sweep.txt"; then
+    echo "FAIL: sharded sweep output differs from the sequential jobs API" >&2
+    exit 1
+fi
+echo "sweep byte-identical to the jobs API"
+if ! curl -fsS "http://127.0.0.1:${PORT}/metrics" | grep -q 'polyserve_sweeps_total{state="completed"} 1'; then
+    echo "FAIL: /metrics does not report the completed sweep" >&2
+    exit 1
+fi
+echo "sweep visible in /metrics"
 
 echo "== graceful shutdown =="
 kill -TERM "$SERVER_PID"
