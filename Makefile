@@ -3,7 +3,9 @@ INSTS ?= 400000
 BENCHTIME ?= 2s
 FUZZTIME ?= 30s
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport experiments serve-smoke chaos-smoke trace-smoke fuzz-smoke cover-sched clean
+BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport bench-diff bench-scaling experiments serve-smoke chaos-smoke trace-smoke fuzz-smoke cover-sched clean
 
 all: build
 
@@ -31,9 +33,10 @@ fmt-check:
 check: build vet fmt-check test
 
 # bench runs the measured benchmark suite (cycle loop, predictors,
-# confidence, renamer, interpreter, full-simulator and harness sweeps).
+# confidence, renamer, interpreter, full-simulator and harness sweeps)
+# across every package, mirroring bench-smoke's coverage.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1800s
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -timeout 1800s ./...
 
 # bench-smoke runs every benchmark for a single iteration (the CI smoke).
 bench-smoke:
@@ -44,6 +47,29 @@ bench-smoke:
 # correctness fingerprint. See cmd/benchreport.
 benchreport:
 	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME)
+
+# bench-diff is the performance regression gate: rerun the hot-path
+# benchmarks and fail when cycle-loop, renamer, or harness ns/op regress
+# by more than 20% against the newest committed BENCH_*.json snapshot.
+# A legitimate slowdown (e.g. a feature that buys accuracy with cycles)
+# ships by refreshing the snapshot in the same PR — or, in CI, by
+# applying the `bench-regression-ok` label, which skips this job.
+bench-diff:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-diff: no committed BENCH_*.json baseline found"; exit 1; }
+	@echo "bench-diff: comparing against $(BENCH_BASELINE)"
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) \
+		-bench 'CycleLoop|Renamer|Harness' -fingerprint-insts 0 \
+		-baseline $(BENCH_BASELINE) -max-regress 1.20 -gate 'CycleLoop|Renamer|Harness' \
+		-out bench-diff.json
+
+# bench-scaling measures the sharded harness at j1/j2/j4/j8 and records
+# host core count + GOMAXPROCS into bench-scaling.json. With >= 4 CPUs
+# the j4/j1 speedup must reach 1.5x (the CI multi-core gate); on smaller
+# hosts the gate reports and passes.
+bench-scaling:
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) \
+		-bench 'HarnessParallel' -fingerprint-insts 0 \
+		-min-scaling 1.5 -out bench-scaling.json
 
 # experiments regenerates the paper's tables (Figures 8-12 + ablations).
 experiments:

@@ -248,19 +248,21 @@ func BenchmarkHarnessSweep(b *testing.B) {
 
 // BenchmarkHarnessParallel measures the internal/sched sharded
 // experiment engine at fixed worker counts over one representative
-// RunConfigs sweep (2 benchmarks x 3 configurations). The j1/j2/j4
-// sub-benchmarks quantify the parallel speedup on the snapshot machine;
-// the rendered results are byte-identical at every width, so only wall
-// time may differ. Note that on a single-core machine (GOMAXPROCS=1)
-// j2/j4 cannot beat j1 — the committed BENCH snapshot records whatever
-// the hardware honestly delivers.
+// RunConfigs sweep (2 benchmarks x 3 configurations). The j1/j2/j4/j8
+// sub-benchmarks quantify the parallel speedup on the snapshot machine
+// (benchreport turns them into the Scaling section and CI gates the
+// j4/j1 ratio on multi-core runners); the rendered results are
+// byte-identical at every width, so only wall time may differ. Note that
+// on a single-core machine (GOMAXPROCS=1) j2/j4/j8 cannot beat j1 — the
+// committed BENCH snapshot records whatever the hardware honestly
+// delivers.
 func BenchmarkHarnessParallel(b *testing.B) {
 	configs := []harness.NamedConfig{
 		{Name: "monopath", Cfg: core.ConfigMonopath()},
 		{Name: "see", Cfg: core.ConfigSEE()},
 		{Name: "dualpath", Cfg: core.ConfigDualPath()},
 	}
-	for _, j := range []int{1, 2, 4} {
+	for _, j := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
 			var committed uint64
 			for i := 0; i < b.N; i++ {

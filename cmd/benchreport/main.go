@@ -55,18 +55,38 @@ type Comparison struct {
 	AllocsPerOp     float64 `json:"allocs_per_op"`
 }
 
+// Host records the parallel capacity of the machine the suite ran on.
+// Scaling numbers are meaningless without it: a j4/j1 ratio of 1.0 is
+// expected on one core and a regression on four.
+type Host struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// ScalingPoint is one BenchmarkHarnessParallel/j<N> result relative to
+// the j1 run of the same suite.
+type ScalingPoint struct {
+	J                int     `json:"j"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	SpeedupVsJ1      float64 `json:"speedup_vs_j1"`
+	SimInstsPerSec   float64 `json:"sim_insts_per_sec,omitempty"`
+	SimInstsPerSecJ1 float64 `json:"sim_insts_per_sec_j1,omitempty"`
+}
+
 // Report is the snapshot schema.
 type Report struct {
-	Date        string       `json:"date"`
-	GoVersion   string       `json:"go_version"`
-	GOOS        string       `json:"goos"`
-	GOARCH      string       `json:"goarch"`
-	CPU         string       `json:"cpu,omitempty"`
-	Benchtime   string       `json:"benchtime,omitempty"`
-	Benchmarks  []Benchmark  `json:"benchmarks"`
-	Fingerprint *Fingerprint `json:"fingerprint,omitempty"`
-	Baseline    string       `json:"baseline,omitempty"` // file the comparison is against
-	Comparisons []Comparison `json:"comparisons,omitempty"`
+	Date        string         `json:"date"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	CPU         string         `json:"cpu,omitempty"`
+	Host        *Host          `json:"host,omitempty"`
+	Benchtime   string         `json:"benchtime,omitempty"`
+	Benchmarks  []Benchmark    `json:"benchmarks"`
+	Scaling     []ScalingPoint `json:"scaling,omitempty"` // harness parallel speedup curve
+	Fingerprint *Fingerprint   `json:"fingerprint,omitempty"`
+	Baseline    string         `json:"baseline,omitempty"` // file the comparison is against
+	Comparisons []Comparison   `json:"comparisons,omitempty"`
 }
 
 // Fingerprint pins the simulator's correctness: the harmonic-mean IPC of
@@ -80,13 +100,16 @@ type Fingerprint struct {
 
 func main() {
 	var (
-		benchRe   = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
-		benchtime = flag.String("benchtime", "2s", "benchtime passed to go test")
-		input     = flag.String("input", "", "parse this `go test -bench` log instead of running the suite")
-		baseline  = flag.String("baseline", "", "BENCH_*.json snapshot to compare against")
-		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
-		insts     = flag.Uint64("fingerprint-insts", 100000, "instruction budget for the Figure 8 fingerprint (0 disables)")
-		version   = flag.Bool("version", false, "print the build version and exit")
+		benchRe    = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+		benchtime  = flag.String("benchtime", "2s", "benchtime passed to go test")
+		input      = flag.String("input", "", "parse this `go test -bench` log instead of running the suite")
+		baseline   = flag.String("baseline", "", "BENCH_*.json snapshot to compare against")
+		out        = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		insts      = flag.Uint64("fingerprint-insts", 100000, "instruction budget for the Figure 8 fingerprint (0 disables)")
+		minScaling = flag.Float64("min-scaling", 0, "fail unless the j4/j1 harness speedup reaches this ratio (enforced only when the host has >= 4 CPUs; 0 disables)")
+		maxRegress = flag.Float64("max-regress", 0, "with -baseline: fail when a gated benchmark's ns/op regresses by more than this factor (e.g. 1.20; 0 disables)")
+		gateRe     = flag.String("gate", "CycleLoop|Renamer|Harness", "regexp selecting the benchmarks -max-regress applies to")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
@@ -100,6 +123,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		Host:      &Host{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
 	}
 
 	var raw string
@@ -130,6 +154,7 @@ func main() {
 	}
 	rep.Benchmarks = benchmarks
 	rep.CPU = cpu
+	rep.Scaling = scalingCurve(benchmarks)
 
 	if *insts > 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: computing Figure 8 fingerprint at %d insts\n", *insts)
@@ -165,6 +190,125 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %-28s %8.2fx  allocs %10.0f -> %.0f\n",
 			c.Name, c.Speedup, c.BaseAllocsPerOp, c.AllocsPerOp)
 	}
+
+	// Gates run after the snapshot is on disk so CI can upload the failing
+	// report as an artifact.
+	failed := false
+	if *minScaling > 0 {
+		if err := checkScaling(rep, *minScaling); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: scaling gate:", err)
+			failed = true
+		}
+	}
+	if *maxRegress > 0 && *baseline != "" {
+		if err := checkRegressions(rep, *gateRe, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport: regression gate:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// scalingCurve extracts the BenchmarkHarnessParallel/j<N> sub-benchmarks
+// into a speedup curve relative to j1.
+func scalingCurve(benchmarks []Benchmark) []ScalingPoint {
+	jRe := regexp.MustCompile(`^BenchmarkHarnessParallel/j(\d+)$`)
+	var pts []ScalingPoint
+	var j1Ns, j1Rate float64
+	for _, b := range benchmarks {
+		m := jRe.FindStringSubmatch(b.Name)
+		if m == nil {
+			continue
+		}
+		j, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		p := ScalingPoint{J: j, NsPerOp: b.NsPerOp, SimInstsPerSec: b.Metrics["sim-insts/s"]}
+		if j == 1 {
+			j1Ns, j1Rate = b.NsPerOp, p.SimInstsPerSec
+		}
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, k int) bool { return pts[i].J < pts[k].J })
+	for i := range pts {
+		if j1Ns > 0 && pts[i].NsPerOp > 0 {
+			pts[i].SpeedupVsJ1 = j1Ns / pts[i].NsPerOp
+		}
+		pts[i].SimInstsPerSecJ1 = j1Rate
+	}
+	return pts
+}
+
+// checkScaling enforces the parallel-scaling floor: on a host with at
+// least 4 CPUs, the j4 harness run must be at least min times faster than
+// j1. Hosts with fewer cores (the pinned container this repo often runs
+// in) cannot physically scale, so the gate reports and passes.
+func checkScaling(rep *Report, min float64) error {
+	if rep.Host == nil || rep.Host.NumCPU < 4 {
+		fmt.Fprintf(os.Stderr, "benchreport: scaling gate skipped (host has %d CPUs; need >= 4)\n", hostCPUs(rep))
+		return nil
+	}
+	for _, p := range rep.Scaling {
+		if p.J != 4 {
+			continue
+		}
+		if p.SpeedupVsJ1 <= 0 {
+			return fmt.Errorf("j4 speedup unavailable (missing j1 sample?)")
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: scaling gate: j4/j1 = %.2fx on %d CPUs (floor %.2fx)\n",
+			p.SpeedupVsJ1, rep.Host.NumCPU, min)
+		if p.SpeedupVsJ1 < min {
+			return fmt.Errorf("j4/j1 speedup %.2fx below required %.2fx on a %d-CPU host",
+				p.SpeedupVsJ1, min, rep.Host.NumCPU)
+		}
+		return nil
+	}
+	return fmt.Errorf("no BenchmarkHarnessParallel/j4 result in this run (was -bench too narrow?)")
+}
+
+func hostCPUs(rep *Report) int {
+	if rep.Host == nil {
+		return 0
+	}
+	return rep.Host.NumCPU
+}
+
+// checkRegressions enforces the ns/op floor against the baseline for
+// benchmarks matching gate: any slowdown beyond maxRatio (current/base,
+// e.g. 1.20 = 20% slower) fails. Benchmarks absent from the baseline are
+// skipped — new benchmarks have nothing to regress from.
+func checkRegressions(rep *Report, gate string, maxRatio float64) error {
+	re, err := regexp.Compile(gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate pattern: %w", err)
+	}
+	var failures []string
+	gated := 0
+	for _, c := range rep.Comparisons {
+		if !re.MatchString(c.Name) {
+			continue
+		}
+		gated++
+		ratio := c.NsPerOp / c.BaseNsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx, limit %.2fx)",
+				c.Name, c.BaseNsPerOp, c.NsPerOp, ratio, maxRatio))
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: regression gate: %-40s %.2fx  %s\n", c.Name, ratio, status)
+	}
+	if gated == 0 {
+		return fmt.Errorf("no benchmarks matched gate %q against baseline %s", gate, rep.Baseline)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx:\n  %s",
+			len(failures), maxRatio, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)

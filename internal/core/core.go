@@ -68,7 +68,19 @@ func RunContextTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pip
 }
 
 func runWithTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pipeline.Tracer) (*Result, error) {
-	m, err := pipeline.New(prog, cfg)
+	return RunCell(ctx, prog, cfg, tr, nil)
+}
+
+// RunCell is the experiment-sweep entry point: RunContextTracer plus
+// arena-style buffer recycling. A worker that runs cells back-to-back
+// passes the same *pipeline.Arena each time; the machine draws its large
+// allocations (memory image, register file, window, scheduler state,
+// pools) from the arena and donates them back after a successful,
+// verified run. A nil arena degrades to plain allocation. Failed or
+// panicked cells never recycle, so their state stays inspectable and the
+// arena stays valid.
+func RunCell(ctx context.Context, prog *isa.Program, cfg Config, tr pipeline.Tracer, a *pipeline.Arena) (*Result, error) {
+	m, err := pipeline.NewWithArena(prog, cfg, a)
 	if err != nil {
 		return nil, err
 	}
@@ -81,13 +93,15 @@ func runWithTracer(ctx context.Context, prog *isa.Program, cfg Config, tr pipeli
 	if err := m.VerifyArchState(); err != nil {
 		return nil, fmt.Errorf("core: %s: architectural state mismatch: %w", prog.Name, err)
 	}
-	return &Result{
+	res := &Result{
 		Program:  prog.Name,
 		Config:   cfg,
 		Stats:    m.Stats,
 		IPC:      m.Stats.IPC(),
 		Verified: true,
-	}, nil
+	}
+	m.Recycle(a)
+	return res, nil
 }
 
 // ConfigMonopath returns the paper's baseline: a speculative, monopath,

@@ -333,6 +333,13 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 		val       MemoValue
 		fromCache bool
 	}
+	// One arena per scheduler shard: a shard's tasks run strictly
+	// sequentially on one worker, so its arena recycles machine buffers
+	// from cell to cell without locking.
+	arenas := make([]*pipeline.Arena, opts.parallelism())
+	for i := range arenas {
+		arenas[i] = pipeline.NewArena()
+	}
 	tasks := make([]sched.Task[cellOut], len(jobs))
 	for i, j := range jobs {
 		j := j
@@ -359,7 +366,7 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 						ring = obs.NewRing(opts.TraceLimit)
 						tr = ring
 					}
-					res, err := core.RunContextTracer(tc.Context, j.prog, cfg, tr)
+					res, err := core.RunCell(tc.Context, j.prog, cfg, tr, arenas[tc.Shard])
 					if err != nil {
 						return out, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err)
 					}

@@ -30,6 +30,9 @@ func (m *Machine) runAudit() {
 	m.auditPaths()
 	m.auditCtxTags()
 	m.auditCheckpoints()
+	// The SoA scheduler cross-check runs last so the long-standing audits
+	// above keep first-report priority on the faults they target.
+	m.auditScheduler()
 }
 
 // auditWindow verifies ROB discipline: entries in strictly increasing
@@ -66,10 +69,10 @@ func (m *Machine) auditWindow() {
 			if !m.freeList.IsAllocated(e.oldPhys) {
 				m.machineCheckf("free-list", e.pc, "entry seq %d previous mapping p%d is not allocated", e.seq, e.oldPhys)
 			}
-			if e.state == stateDone && !m.physReady[e.dstPhys] {
+			if e.state == stateDone && !m.physReady.Test(e.dstPhys) {
 				m.machineCheckf("wakeup", e.pc, "entry seq %d completed but p%d never published (dropped wakeup)", e.seq, e.dstPhys)
 			}
-			if e.state != stateDone && m.physReady[e.dstPhys] {
+			if e.state != stateDone && m.physReady.Test(e.dstPhys) {
 				m.machineCheckf("wakeup", e.pc, "entry seq %d incomplete but p%d reads ready (spurious wakeup)", e.seq, e.dstPhys)
 			}
 		}

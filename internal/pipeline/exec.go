@@ -2,131 +2,160 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/ctxtag"
 	"repro/internal/isa"
 )
 
-// issue scans the window oldest-first and issues ready instructions to
-// free functional units (one issue per unit per cycle; all units are
-// pipelined). Loads obey the memory-ordering rule: every older store on
-// the load's path ancestry must have computed its address, and a matching
-// store forwards its data through the CTX-filtered store buffer.
+// issue selects ready instructions through the SoA scheduler (soa.go):
+// the STA pass computes store addresses whose base register became
+// ready, then the select pass walks waiting bits oldest-first —
+// ascending winBuf slots are ascending seq — testing operand readiness
+// against the dense SoA arrays and issuing to free functional units (one
+// issue per unit per cycle; all units are pipelined). Loads obey the
+// memory-ordering rule: every older store on the load's path ancestry
+// must have computed its address, and a matching store forwards its data
+// through the CTX-filtered store buffer.
+//
+// The candidate set and its order are exactly the pre-SoA oldest-first
+// window scan's (operand readiness is tested live, never cached across
+// cycles), so simulated results are bit-identical; only the walk is
+// cheaper — executing and completed entries cost nothing, and a waiting
+// entry's wakeup check touches dense arrays instead of its window entry
+// struct. Exiting once every unit is consumed is safe because nothing
+// after that point had side effects in the scan form: store accumulation
+// lives in the persistent store bitmap and address generation in the STA
+// pass.
 func (m *Machine) issue() {
+	lo := m.winOff
+	hi := lo + len(m.window)
+	if lo == hi {
+		return
+	}
+	s := &m.soa
+	loW, hiW := lo>>6, (hi-1)>>6
+
+	if soaSelectAudit {
+		m.soaVerifySelectOrder()
+	}
+
+	// Store address generation is decoupled from the data operand
+	// (STA/STD split): once the base register is ready the effective
+	// address is known for disambiguation, even while the store waits
+	// for its data. Bits outside [lo, hi) are never set, so no boundary
+	// masking is needed.
+	for w := loW; w <= hiW; w++ {
+		sta := s.staW[w]
+		for t := sta; t != 0; t &= t - 1 {
+			b := bits.TrailingZeros64(t)
+			pos := w<<6 | b
+			if s.flags[pos]&fReadsSrc1 != 0 && !m.physReady.Test(s.src1[pos]) {
+				continue
+			}
+			e := m.winBuf[pos]
+			e.addr = isa.EffAddr(m.physVal[e.src1Phys], e.inst.Imm, m.prog.MemWords)
+			e.addrReady = true
+			sta &^= uint64(1) << uint(b)
+		}
+		s.staW[w] = sta
+	}
+
+	// Select: walk waiting bits oldest-first, wake against the physical
+	// register readiness bitmap, issue against functional-unit
+	// availability.
 	availInt0 := m.cfg.NumIntType0
 	availInt1 := m.cfg.NumIntType1
 	availFPAdd := m.cfg.NumFPAdd
 	availFPMul := m.cfg.NumFPMul
 	availMem := m.cfg.NumMemPorts
+	for w := loW; w <= hiW; w++ {
+		for cand := s.waitW[w]; cand != 0; cand &= cand - 1 {
+			b := bits.TrailingZeros64(cand)
+			pos := w<<6 | b
 
-	// Stores older than the current scan point (the window is seq-sorted,
-	// so this accumulates exactly the "older stores" set for each load).
-	// The scratch buffer is reused across cycles.
-	stores := m.storesScratch[:0]
-
-	for _, e := range m.window {
-		if e.state != stateWaiting {
-			if e.isStore {
-				stores = append(stores, e)
-			}
-			continue
-		}
-		if e.readsSrc1 && !m.physReady[e.src1Phys] {
-			if e.isStore {
-				stores = append(stores, e)
-			}
-			continue
-		}
-		// Store address generation is decoupled from the data operand
-		// (STA/STD split): once the base register is ready the effective
-		// address is known for disambiguation, even while the store waits
-		// for its data.
-		if e.isStore && !e.addrReady {
-			e.addr = isa.EffAddr(m.physVal[e.src1Phys], e.inst.Imm, m.prog.MemWords)
-			e.addrReady = true
-		}
-		if e.readsSrc2 && !m.physReady[e.src2Phys] {
-			if e.isStore {
-				stores = append(stores, e)
-			}
-			continue
-		}
-
-		var unit isa.FUClass
-		ok := false
-		switch e.class {
-		case isa.ClassIntEither:
-			if availInt0 > 0 {
-				unit, ok = isa.ClassIntType0, true
-			} else if availInt1 > 0 {
-				unit, ok = isa.ClassIntType1, true
-			}
-		case isa.ClassIntType0:
-			ok = availInt0 > 0
-			unit = isa.ClassIntType0
-		case isa.ClassIntType1:
-			ok = availInt1 > 0
-			unit = isa.ClassIntType1
-		case isa.ClassMem:
-			ok = availMem > 0
-			unit = isa.ClassMem
-		case isa.ClassFPAdd:
-			ok = availFPAdd > 0
-			unit = isa.ClassFPAdd
-		case isa.ClassFPMul:
-			ok = availFPMul > 0
-			unit = isa.ClassFPMul
-		}
-		if !ok {
-			if e.isStore {
-				stores = append(stores, e)
-			}
-			continue
-		}
-
-		lat := int(e.lat)
-		if e.isLoad {
-			issued, forwarded := m.issueLoad(e, stores)
-			if !issued {
+			fl := s.flags[pos]
+			if fl&fReadsSrc1 != 0 && !m.physReady.Test(s.src1[pos]) {
 				continue
 			}
-			if forwarded {
-				lat = 1 // 1-cycle store-buffer forward (Sec. 4.2)
-			} else if m.dcache != nil {
-				m.Stats.DCacheAccesses++
-				if !m.dcache.Access(e.addr) {
-					m.Stats.DCacheMisses++
-					lat += m.cfg.DCacheMissLatency
-				}
+			if fl&fReadsSrc2 != 0 && !m.physReady.Test(s.src2[pos]) {
+				continue
 			}
-		} else {
-			m.execute(e)
-		}
 
-		e.state = stateExecuting
-		m.schedule(e, lat)
-		if m.tracer != nil {
-			m.emit(TraceIssue, e.seq, e.pc, e.path, e.tag, unit.String())
-		}
-		m.Stats.FUIssued[unit]++
-		switch unit {
-		case isa.ClassIntType0:
-			availInt0--
-		case isa.ClassIntType1:
-			availInt1--
-		case isa.ClassFPAdd:
-			availFPAdd--
-		case isa.ClassFPMul:
-			availFPMul--
-		case isa.ClassMem:
-			availMem--
-		}
-		if e.isStore {
-			stores = append(stores, e)
+			var unit isa.FUClass
+			ok := false
+			switch isa.FUClass(s.class[pos]) {
+			case isa.ClassIntEither:
+				if availInt0 > 0 {
+					unit, ok = isa.ClassIntType0, true
+				} else if availInt1 > 0 {
+					unit, ok = isa.ClassIntType1, true
+				}
+			case isa.ClassIntType0:
+				ok = availInt0 > 0
+				unit = isa.ClassIntType0
+			case isa.ClassIntType1:
+				ok = availInt1 > 0
+				unit = isa.ClassIntType1
+			case isa.ClassMem:
+				ok = availMem > 0
+				unit = isa.ClassMem
+			case isa.ClassFPAdd:
+				ok = availFPAdd > 0
+				unit = isa.ClassFPAdd
+			case isa.ClassFPMul:
+				ok = availFPMul > 0
+				unit = isa.ClassFPMul
+			}
+			if !ok {
+				continue
+			}
+
+			e := m.winBuf[pos]
+			lat := int(e.lat)
+			if e.isLoad {
+				issued, forwarded := m.issueLoad(e, pos)
+				if !issued {
+					continue
+				}
+				if forwarded {
+					lat = 1 // 1-cycle store-buffer forward (Sec. 4.2)
+				} else if m.dcache != nil {
+					m.Stats.DCacheAccesses++
+					if !m.dcache.Access(e.addr) {
+						m.Stats.DCacheMisses++
+						lat += m.cfg.DCacheMissLatency
+					}
+				}
+			} else {
+				m.execute(e)
+			}
+
+			e.state = stateExecuting
+			m.soaIssued(pos)
+			m.schedule(e, lat)
+			if m.tracer != nil {
+				m.emit(TraceIssue, e.seq, e.pc, e.path, e.tag, unit.String())
+			}
+			m.Stats.FUIssued[unit]++
+			switch unit {
+			case isa.ClassIntType0:
+				availInt0--
+			case isa.ClassIntType1:
+				availInt1--
+			case isa.ClassFPAdd:
+				availFPAdd--
+			case isa.ClassFPMul:
+				availFPMul--
+			case isa.ClassMem:
+				availMem--
+			}
+			if availInt0|availInt1|availFPAdd|availFPMul|availMem == 0 {
+				return // every unit consumed; nothing left to select
+			}
 		}
 	}
-	m.storesScratch = stores[:0]
 }
 
 // execute computes e's result with real operand values (the execution-
@@ -160,8 +189,11 @@ func (m *Machine) execute(e *entry) {
 
 // issueLoad applies the memory ordering rules and, when the load can
 // proceed, computes its value from the store buffer or architectural
-// memory. stores holds all older in-flight stores in seq order.
-func (m *Machine) issueLoad(e *entry, stores []*entry) (issued, forwarded bool) {
+// memory. The older-store set is the store bitmap cut below the load's
+// own slot: ascending winBuf positions are ascending seq, so masking off
+// pos and above in the load's word yields exactly the in-flight stores
+// older than the load, walked oldest-first.
+func (m *Machine) issueLoad(e *entry, pos int) (issued, forwarded bool) {
 	v1 := m.physVal[e.src1Phys]
 	addr := isa.EffAddr(v1, e.inst.Imm, m.prog.MemWords)
 
@@ -169,15 +201,23 @@ func (m *Machine) issueLoad(e *entry, stores []*entry) (issued, forwarded bool) 
 	// have computed their addresses before a load may issue; the youngest
 	// matching completed store forwards.
 	var match *entry
-	for _, s := range stores {
-		if !s.tag.IsAncestorOrSelf(e.tag) {
-			continue // unrelated path: no ordering constraint
+	soa := &m.soa
+	for w, hiW := m.winOff>>6, pos>>6; w <= hiW; w++ {
+		sw := soa.storeW[w]
+		if w == hiW {
+			sw &= (uint64(1) << uint(pos&63)) - 1
 		}
-		if !s.addrReady {
-			return false, false
-		}
-		if s.addr == addr {
-			match = s // stores scanned oldest-first: keep the youngest
+		for ; sw != 0; sw &= sw - 1 {
+			s := m.winBuf[w<<6|bits.TrailingZeros64(sw)]
+			if !s.tag.IsAncestorOrSelf(e.tag) {
+				continue // unrelated path: no ordering constraint
+			}
+			if !s.addrReady {
+				return false, false
+			}
+			if s.addr == addr {
+				match = s // stores walked oldest-first: keep the youngest
+			}
 		}
 	}
 	if match != nil {
@@ -233,7 +273,7 @@ func (m *Machine) writeback() {
 		}
 		if e.hasDest {
 			m.physVal[e.dstPhys] = e.result
-			m.physReady[e.dstPhys] = true
+			m.physReady.Set(e.dstPhys)
 		}
 		if e.isBranch {
 			m.resolve(e)
@@ -338,18 +378,29 @@ func (m *Machine) recoverMispredict(e *entry) {
 // expressed sequentially.
 func (m *Machine) killMatching(minSeq uint64, pred func(ctxtag.Tag) bool, protect *path) {
 	kept := m.window[:0]
-	for _, e := range m.window {
+	firstKilled := -1
+	for i, e := range m.window {
 		if e.seq > minSeq && pred(e.tag) {
+			if firstKilled < 0 {
+				firstKilled = i
+			}
 			m.killEntry(e)
 		} else {
 			kept = append(kept, e)
 		}
 	}
 	// Clear the tail so killed entries do not linger in the backing array.
-	for i := len(kept); i < len(m.window); i++ {
+	oldLen := len(m.window)
+	for i := len(kept); i < oldLen; i++ {
 		m.window[i] = nil
 	}
 	m.window = kept
+	if firstKilled >= 0 {
+		// Entries below the first kill kept their winBuf slots; only the
+		// shifted survivors above it need their scheduler state re-derived
+		// (kills target young subtrees, so this is usually a short suffix).
+		m.soaRebuildFrom(firstKilled, oldLen)
+	}
 
 	for i, latch := range m.frontEnd {
 		if len(latch) == 0 {
@@ -458,6 +509,7 @@ func (m *Machine) commit() {
 		}
 		m.window[0] = nil
 		m.window = m.window[1:]
+		m.soaClearPos(m.winOff)
 		m.winOff++
 		m.commitEntry(e)
 		m.freeEntry(e)

@@ -113,7 +113,7 @@ func (m *Machine) InjectFault(kind Fault, arg uint64) bool {
 			return false
 		}
 		victim := candidates[arg%uint64(len(candidates))]
-		m.physReady[victim.dstPhys] = false
+		m.physReady.Clear(victim.dstPhys)
 		return true
 	case FaultFreeListFlip:
 		m.freeList.FlipInUse(rename.PhysReg(arg % uint64(m.freeList.Total())))

@@ -123,7 +123,7 @@ func (m *Machine) renameOne(f *finst) bool {
 		e.hasDest = true
 		e.dstPhys = np
 		e.oldPhys = p.regmap.Set(f.inst.Dst, np)
-		m.physReady[np] = false
+		m.physReady.Clear(np)
 	}
 	if op == isa.Nop || op == isa.Halt {
 		e.state = stateDone // no functional unit needed

@@ -167,9 +167,10 @@ type Machine struct {
 	mem       []int64
 	retireMap *rename.Map
 
-	// Rename state.
+	// Rename state. physReady is a packed per-physical-register bitmap:
+	// the wakeup recompute tests it for every pending operand every cycle.
 	physVal   []int64
-	physReady []bool
+	physReady rename.ReadySet
 	freeList  *rename.FreeList
 	ckpts     *rename.Checkpoints
 	// ckptRAS holds the return-address-stack snapshot for each checkpoint
@@ -197,6 +198,10 @@ type Machine struct {
 	winBuf   []*entry   // window backing array, compacted when the tail is reached
 	winOff   int        // offset of window[0] in winBuf
 	ring     [][]*entry // completion events indexed by cycle % len(ring)
+	// soa is the structure-of-arrays scheduler state over winBuf slots:
+	// wakeup and select walk its per-64-entry bitmaps with
+	// bits.TrailingZeros64 instead of scanning entry structs (soa.go).
+	soa soaState
 
 	// deco caches per-PC decode and classification work (FU class, latency,
 	// operand/dest usage, fetch-stage dispatch kind) so the per-cycle loop
@@ -205,13 +210,12 @@ type Machine struct {
 
 	// Object pools and per-cycle scratch buffers. The steady-state cycle
 	// loop allocates nothing: window entries, front-end instructions and
-	// latch slices are recycled, and fetch/issue reuse their scratch space.
-	entryPool     []*entry
-	finstPool     []*finst
-	latchPool     [][]*finst
-	fpsScratch    []*path
-	storesScratch []*entry
-	livePaths     int // live CTX-table entries (maintained by newPath/releasePath)
+	// latch slices are recycled, and fetch reuses its scratch space.
+	entryPool  []*entry
+	finstPool  []*finst
+	latchPool  [][]*finst
+	fpsScratch []*path
+	livePaths  int // live CTX-table entries (maintained by newPath/releasePath)
 
 	// Optional memory hierarchy (nil when the paper's always-hit
 	// assumption is in effect).
@@ -244,12 +248,25 @@ type Machine struct {
 // produces the oracle branch trace) executes eagerly so that construction
 // surfaces program errors early.
 func New(prog *isa.Program, cfg Config) (*Machine, error) {
+	return NewWithArena(prog, cfg, nil)
+}
+
+// NewWithArena is New drawing the machine's large allocations — memory
+// image, register file, window backing array and SoA scheduler state,
+// completion ring, predecode table, object pools — from a (see arena.go).
+// A nil arena behaves exactly like New. The caller donates the buffers
+// back with Machine.Recycle once the simulation is finished; results are
+// bit-identical with or without an arena.
+func NewWithArena(prog *isa.Program, cfg Config, a *Arena) (*Machine, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	if a == nil {
+		a = &Arena{}
 	}
 	// The reference (functional) run bounds the simulation. Without an
 	// explicit MaxInsts we cap it generously; longer programs must set
@@ -270,19 +287,22 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:       cfg,
 		prog:      prog,
-		mem:       make([]int64, prog.MemWords),
+		mem:       takeI64(&a.mem, prog.MemWords),
 		retireMap: rename.NewIdentityMap(),
-		physVal:   make([]int64, cfg.PhysRegs),
-		physReady: make([]bool, cfg.PhysRegs),
+		physVal:   takeI64(&a.physVal, cfg.PhysRegs),
+		physReady: rename.ReuseReadySet(a.ready, cfg.PhysRegs),
 		freeList:  rename.NewFreeList(cfg.PhysRegs, isa.NumRegs),
 		ckpts:     rename.NewCheckpoints(cfg.Checkpoints),
 		trace:     trace,
 		interp:    ref,
 		refCount:  ref.InstCount,
 		ctxAlloc:  ctxtag.NewAllocator(cfg.CtxHistoryWidth),
-		paths:     make([]*path, cfg.MaxPaths),
-		frontEnd:  make([][]*finst, cfg.FrontEndStages),
+		paths:     a.takePaths(cfg.MaxPaths),
+		frontEnd:  a.takeFrontEnd(cfg.FrontEndStages),
 	}
+	a.ready = rename.ReadySet{}
+	m.entryPool, m.finstPool, m.latchPool, m.fpsScratch = a.takePools(cfg.RASDepth)
+	m.auditInts, m.auditBools = a.takeAudit()
 	// The completion ring must cover the longest possible operation
 	// latency (integer multiply, plus the D-cache miss penalty when the
 	// cache model is enabled).
@@ -290,15 +310,16 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	if cfg.EnableDCache {
 		maxLat += cfg.DCacheMissLatency + 2
 	}
-	m.ring = make([][]*entry, maxLat+2)
+	m.ring = a.takeRing(maxLat + 2)
 	// The window is bounded by WindowSize; a 2x backing array makes the
 	// head-popping commit path O(1) with amortized-free compaction.
-	m.winBuf = make([]*entry, 2*cfg.WindowSize)
+	m.winBuf = a.takeEntries(2 * cfg.WindowSize)
 	m.window = m.winBuf[:0]
+	m.soaInit(len(m.winBuf), a)
 	copy(m.mem, prog.DataInit)
 	// Logical registers start architecturally zero and ready.
 	for i := 0; i < isa.NumRegs; i++ {
-		m.physReady[i] = true
+		m.physReady.Set(rename.PhysReg(i))
 	}
 
 	switch cfg.Predictor.Kind {
@@ -347,7 +368,7 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 
 	// Predecode the program once; the fetch/rename/issue stages index this
 	// table instead of re-deriving classification from the opcode.
-	m.deco = make([]deco, len(prog.Code))
+	m.deco = a.takeDeco(len(prog.Code))
 	for pc, in := range prog.Code {
 		d := &m.deco[pc]
 		op := in.Op
@@ -447,7 +468,8 @@ func (m *Machine) freeLatch(l []*finst) {
 
 // windowPush appends a renamed entry to the window. The backing array is
 // twice WindowSize, so compaction triggers at most once per WindowSize
-// pushes: amortized O(1), never allocating.
+// pushes: amortized O(1), never allocating. Compaction moves entries to
+// new slots, so the SoA scheduler state is rebuilt alongside.
 func (m *Machine) windowPush(e *entry) {
 	if m.winOff+len(m.window) == len(m.winBuf) {
 		n := copy(m.winBuf, m.window)
@@ -456,8 +478,11 @@ func (m *Machine) windowPush(e *entry) {
 		}
 		m.winOff = 0
 		m.window = m.winBuf[:n]
+		m.soaRebuild()
 	}
+	pos := m.winOff + len(m.window)
 	m.window = append(m.window, e)
+	m.soaSet(pos, e)
 }
 
 // newPath allocates a CTX-table slot. Callers must have verified a slot is

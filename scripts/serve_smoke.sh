@@ -118,7 +118,11 @@ if ! diff -u "$WORKDIR/sweep-job.txt" "$WORKDIR/sweep.txt"; then
     exit 1
 fi
 echo "sweep byte-identical to the jobs API"
-if ! curl -fsS "http://127.0.0.1:${PORT}/metrics" | grep -q 'polyserve_sweeps_total{state="completed"} 1'; then
+# Fetch to a file before grepping: `curl | grep -q` under pipefail is
+# racy — grep exits on the first match, and curl fails with a write
+# error if it had more output in flight.
+curl -fsS "http://127.0.0.1:${PORT}/metrics" > "$WORKDIR/metrics.txt"
+if ! grep -q 'polyserve_sweeps_total{state="completed"} 1' "$WORKDIR/metrics.txt"; then
     echo "FAIL: /metrics does not report the completed sweep" >&2
     exit 1
 fi
