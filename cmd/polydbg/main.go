@@ -38,7 +38,7 @@ import (
 func main() {
 	bench := flag.String("bench", "go", "benchmark name")
 	asmFile := flag.String("asm", "", "debug an assembly file instead of a benchmark")
-	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
+	model := flag.String("model", "see", "model: "+strings.Join(core.ModelNames(), ","))
 	insts := flag.Uint64("insts", 0, "dynamic instruction target (0 = default)")
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()

@@ -42,8 +42,10 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/isa"
@@ -57,14 +59,16 @@ import (
 func main() {
 	bench := flag.String("bench", "go", "benchmark: compress,gcc,perl,go,m88ksim,xlisp,vortex,jpeg")
 	asmFile := flag.String("asm", "", "simulate an assembly file instead of a generated benchmark")
-	model := flag.String("model", "see", "model: monopath,see,dualpath,oracle,see-oracle-ce,dual-oracle-ce,adaptive,eager")
+	model := flag.String("model", "see", "model: "+strings.Join(core.ModelNames(), ","))
 	compare := flag.String("compare", "", "comma-separated models to run side by side through the sharded harness; prints one IPC table instead of a single-model report")
 	jobs := flag.Int("j", 0, "worker shards for -compare (0 = GOMAXPROCS); the table is byte-identical under any value")
 	insts := flag.Uint64("insts", 0, "dynamic instructions (0 = default 400k)")
 	window := flag.Int("window", 0, "instruction window size (0 = 256)")
 	depth := flag.Int("depth", 0, "total pipeline depth (0 = 8)")
 	units := flag.Int("units", 0, "functional units of each type (0 = 4)")
-	histBits := flag.Int("histbits", 0, "gshare history bits (0 = scaled baseline 11)")
+	histBits := flag.Int("histbits", 0, "predictor hist_bits (0 = scaled baseline 11)")
+	pred := flag.String("pred", "", "predictor kind override, any registered kind: "+strings.Join(pipeline.PredictorKinds(), ","))
+	predParams := flag.String("pred-params", "", "predictor parameters as name=value[,name=value...] (schema-checked; e.g. -pred tage -pred-params tables=4,tag_bits=11)")
 	seed := flag.Int64("seed", 0, "workload seed override (0 = benchmark default)")
 	disasm := flag.Bool("disasm", false, "print the generated program and exit")
 	mix := flag.Bool("mix", false, "print the dynamic instruction mix and exit")
@@ -94,7 +98,7 @@ func main() {
 				fail(fmt.Errorf("%s is incompatible with -compare", flagName))
 			}
 		}
-		runCompare(*compare, *jobs, *bench, *insts, *audit, *window, *depth, *units, *histBits)
+		runCompare(*compare, *jobs, *bench, *insts, *audit, *window, *depth, *units, *histBits, *pred, *predParams)
 		return
 	}
 
@@ -127,19 +131,8 @@ func main() {
 
 	base, err := core.ModelConfig(*model)
 	fail(err)
-	var mods []pipeline.Option
-	if *window > 0 {
-		mods = append(mods, pipeline.WithWindowSize(*window))
-	}
-	if *depth > 0 {
-		mods = append(mods, pipeline.WithPipelineDepth(*depth))
-	}
-	if *units > 0 {
-		mods = append(mods, pipeline.WithUniformUnits(*units))
-	}
-	if *histBits > 0 {
-		mods = append(mods, pipeline.WithHistoryBits(*histBits))
-	}
+	mods, err := machineMods(*window, *depth, *units, *histBits, *pred, *predParams)
+	fail(err)
 	// The validated constructor turns any invalid flag combination into a
 	// descriptive typed error instead of a downstream panic.
 	cfg, err := pipeline.NewConfigFrom(base, mods...)
@@ -191,22 +184,11 @@ func main() {
 // sharded over -j workers by the same deterministic engine behind
 // cmd/experiments and polyserve sweeps, and prints the IPC table.
 // Machine-parameter flag overrides apply to every model uniformly.
-func runCompare(models string, workers int, bench string, insts uint64, audit string, window, depth, units, histBits int) {
+func runCompare(models string, workers int, bench string, insts uint64, audit string, window, depth, units, histBits int, pred, predParams string) {
 	auditLevel, err := pipeline.ParseAuditLevel(audit)
 	fail(err)
-	var mods []pipeline.Option
-	if window > 0 {
-		mods = append(mods, pipeline.WithWindowSize(window))
-	}
-	if depth > 0 {
-		mods = append(mods, pipeline.WithPipelineDepth(depth))
-	}
-	if units > 0 {
-		mods = append(mods, pipeline.WithUniformUnits(units))
-	}
-	if histBits > 0 {
-		mods = append(mods, pipeline.WithHistoryBits(histBits))
-	}
+	mods, err := machineMods(window, depth, units, histBits, pred, predParams)
+	fail(err)
 	var configs []harness.NamedConfig
 	for _, name := range strings.Split(models, ",") {
 		name = strings.TrimSpace(name)
@@ -286,6 +268,74 @@ func serveDebug(addr string, sim *stats.Sim) {
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "polysim: debug server on http://%s (/debug/pprof/, /metrics)\n", addr)
+}
+
+// machineMods translates the machine-parameter flags into config options.
+// The -pred override swaps the predictor spec through the open registry:
+// any registered kind is accepted, -pred-params feeds its schema, and the
+// base model's hist_bits carries over when the new kind's schema accepts it
+// (so "-model see -pred combining" keeps the scaled 11-bit sizing).
+func machineMods(window, depth, units, histBits int, pred, predParams string) ([]pipeline.Option, error) {
+	var mods []pipeline.Option
+	if window > 0 {
+		mods = append(mods, pipeline.WithWindowSize(window))
+	}
+	if depth > 0 {
+		mods = append(mods, pipeline.WithPipelineDepth(depth))
+	}
+	if units > 0 {
+		mods = append(mods, pipeline.WithUniformUnits(units))
+	}
+	if pred != "" {
+		kind, err := pipeline.ParsePredictorKind(pred)
+		if err != nil {
+			return nil, err
+		}
+		params := make(map[string]int)
+		if predParams != "" {
+			for _, kv := range strings.Split(predParams, ",") {
+				name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("-pred-params: %q is not name=value", kv)
+				}
+				v, err := strconv.Atoi(strings.TrimSpace(val))
+				if err != nil {
+					return nil, fmt.Errorf("-pred-params %s: %v", name, err)
+				}
+				params[strings.TrimSpace(name)] = v
+			}
+		}
+		accepts := func(name string) bool {
+			e, ok := bpred.Lookup(string(kind))
+			if !ok {
+				return false
+			}
+			for _, ps := range e.Params {
+				if ps.Name == name {
+					return true
+				}
+			}
+			return false
+		}
+		mods = append(mods, func(c *pipeline.Config) {
+			// Fresh map per application: the same option may apply to
+			// several -compare configs, which must not share param state.
+			p := make(map[string]int, len(params)+1)
+			for k, v := range params {
+				p[k] = v
+			}
+			if _, explicit := p["hist_bits"]; !explicit && accepts("hist_bits") {
+				if hb := c.Predictor.Param("hist_bits", 0); hb > 0 {
+					p["hist_bits"] = hb
+				}
+			}
+			c.Predictor = pipeline.PredictorOf(kind, p)
+		})
+	}
+	if histBits > 0 {
+		mods = append(mods, pipeline.WithHistoryBits(histBits))
+	}
+	return mods, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,303 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustTage(t *testing.T, c TageConfig) *Tage {
+	t.Helper()
+	tg, err := NewTage(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func smallTage(t *testing.T) *Tage {
+	return mustTage(t, TageConfig{
+		BaseBits: 4, Tables: 4, IdxBits: 4, TagBits: 8, MinHist: 2, MaxHist: 16,
+	})
+}
+
+func TestTageProviderIsLongestMatch(t *testing.T) {
+	// provider() is the CLZ selection over the hit bitmap: the highest set
+	// bit must win, at every boundary of the bitmap.
+	cases := []struct {
+		hits uint32
+		want int
+	}{
+		{0, -1},
+		{1 << 0, 0},
+		{1 << 15, 15},               // the registry's table cap
+		{1<<15 | 1, 15},             // longest wins over shortest
+		{1<<7 | 1<<6, 7},            // adjacent tables
+		{1<<3 | 1<<2 | 1<<1 | 1, 3}, // dense low bitmap
+		{0xFFFF, 15},                // all tables hit
+		{1<<14 | 1<<13 | 1<<12, 14}, // cluster below the cap
+	}
+	for _, tc := range cases {
+		if got := provider(tc.hits); got != tc.want {
+			t.Errorf("provider(%#x) = %d, want %d", tc.hits, got, tc.want)
+		}
+	}
+}
+
+func TestTageAltProviderSkipsProvider(t *testing.T) {
+	cases := []struct {
+		hits uint32
+		prov int
+		want int
+	}{
+		{1<<5 | 1<<2, 5, 2},
+		{1 << 5, 5, -1},    // no alternate: base table
+		{1<<15 | 1, 15, 0}, // alternate across the full bitmap
+		{0xFF, 7, 6},       // alternate is the next-longest, not shortest
+	}
+	for _, tc := range cases {
+		if got := altProvider(tc.hits, tc.prov); got != tc.want {
+			t.Errorf("altProvider(%#x, %d) = %d, want %d", tc.hits, tc.prov, got, tc.want)
+		}
+	}
+}
+
+func TestTageGeometricSchedule(t *testing.T) {
+	got := geometricHistLens(4, 64, 4)
+	want := []int{4, 10, 25, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("geometricHistLens(4,64,4) = %v, want %v", got, want)
+		}
+	}
+	// Strictly increasing even when rounding would collide.
+	lens := geometricHistLens(1, 4, 8)
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Fatalf("schedule not strictly increasing: %v", lens)
+		}
+	}
+	if lens[len(lens)-1] > 64 {
+		t.Fatalf("schedule exceeds the 64-bit history word: %v", lens)
+	}
+}
+
+// TestTageTagAliasing: two branches that collide on a table index but carry
+// different tags must not read each other's prediction — the second branch
+// falls through to the base table instead of consuming the alias's counter.
+func TestTageTagAliasing(t *testing.T) {
+	tg := smallTage(t)
+	table := len(tg.tags) - 1
+
+	// Find two (pc) values with the same index but different tags in the
+	// longest table under a fixed history.
+	const hist = 0xA5A5
+	pcA := 3
+	var pcB int
+	for pc := pcA + 1; ; pc++ {
+		if tg.index(table, pc, hist) == tg.index(table, pcA, hist) &&
+			tg.tag(table, pc, hist) != tg.tag(table, pcA, hist) {
+			pcB = pc
+			break
+		}
+		if pc > 1<<20 {
+			t.Fatal("no index-colliding, tag-distinct pc pair found")
+		}
+	}
+
+	// Install a strongly-taken entry for pcA directly.
+	idx := tg.index(table, pcA, hist)
+	tg.tags[table][idx] = tg.tag(table, pcA, hist)
+	tg.ctrs[table][idx] = 3
+
+	if !tg.Predict(pcA, hist) {
+		t.Fatal("installed entry must provide a taken prediction for its own tag")
+	}
+	// pcB aliases the index but not the tag: the tagged entry must NOT
+	// provide, so the prediction comes from pcB's (untrained, not-taken)
+	// base counter.
+	if tg.Predict(pcB, hist) {
+		t.Error("tag mismatch must not hit: aliased entry leaked its prediction")
+	}
+}
+
+// TestTageAllocatesOnMispredict: a provider misprediction must install the
+// branch into a longer-history table (deterministically, the first
+// useful==0 slot), after which the longer table provides.
+func TestTageAllocatesOnMispredict(t *testing.T) {
+	tg := smallTage(t)
+	const pc, hist = 7, uint64(0x3C)
+
+	// Fresh predictor: no tags match, base provides (weakly not-taken).
+	if tg.Predict(pc, hist) {
+		t.Fatal("fresh predictor must predict not-taken")
+	}
+	// One taken outcome mispredicts the base provider -> allocation into
+	// the shortest tagged table with useful==0 (table 0).
+	tg.Update(pc, hist, true)
+	var idxBuf [16]uint64
+	hits := tg.lookup(pc, hist, idxBuf[:len(tg.tags)])
+	if provider(hits) != 0 {
+		t.Fatalf("after one mispredict, provider = %d, want table 0 (hits %#x)", provider(hits), hits)
+	}
+	// The allocated entry starts weakly taken: it must now predict taken.
+	if !tg.Predict(pc, hist) {
+		t.Error("allocated entry must predict the outcome that allocated it")
+	}
+}
+
+// TestTageUsefulAgingReclaimsEntries: with a tiny UsefulPeriod, useful
+// counters saturated to 3 must decay to 0 after two aging events (upper bit
+// then lower bit), making the entries reclaimable.
+func TestTageUsefulAging(t *testing.T) {
+	tg := mustTage(t, TageConfig{
+		BaseBits: 4, Tables: 2, IdxBits: 4, TagBits: 8, MinHist: 2, MaxHist: 8,
+		UsefulPeriod: 4,
+	})
+	// Saturate a useful counter by hand.
+	tg.useful[1][5] = 3
+
+	// Drive updates through branches that do not touch entry [1][5]'s
+	// useful counter directly; aging is global.
+	for i := 0; i < 4; i++ { // first aging event: clears bit 0 -> 3 -> 2
+		tg.Update(1000+i, 0, false)
+	}
+	if got := tg.useful[1][5]; got != 0b10 {
+		t.Fatalf("after first aging event useful = %b, want 10", got)
+	}
+	for i := 0; i < 4; i++ { // second aging event: clears bit 1 -> 0
+		tg.Update(2000+i, 0, false)
+	}
+	if got := tg.useful[1][5]; got != 0 {
+		t.Fatalf("after second aging event useful = %b, want 0", got)
+	}
+}
+
+func TestTageUsefulTracksProviderAdvantage(t *testing.T) {
+	tg := smallTage(t)
+	const pc, hist = 11, uint64(0x55)
+	// Allocate into table 0 via a base mispredict.
+	tg.Update(pc, hist, true)
+	var idxBuf [16]uint64
+	idxs := idxBuf[:len(tg.tags)]
+	hits := tg.lookup(pc, hist, idxs)
+	prov := provider(hits)
+	if prov != 0 {
+		t.Fatalf("provider = %d, want 0", prov)
+	}
+	// Provider (weak taken) and base (now weak taken after its own training)
+	// currently agree -> useful must not move.
+	u0 := tg.useful[prov][idxs[prov]]
+	tg.Update(pc, hist, true)
+	// Train base away: flood the base counter with not-taken via direct
+	// counter writes, creating provider/alternate disagreement.
+	tg.base[tg.baseIndex(pc)] = 0 // strongly not-taken
+	before := tg.useful[prov][idxs[prov]]
+	tg.Update(pc, hist, true) // provider correct, alt wrong -> useful++
+	after := tg.useful[prov][idxs[prov]]
+	if after != before+1 {
+		t.Errorf("useful did not increment on provider advantage: %d -> %d (initial %d)", before, after, u0)
+	}
+}
+
+func TestTageReset(t *testing.T) {
+	tg := smallTage(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		pc := rng.Intn(256)
+		hist := rng.Uint64()
+		tg.Update(pc, hist, rng.Intn(2) == 0)
+	}
+	tg.Reset()
+	for i := range tg.base {
+		if tg.base[i] != 0 {
+			t.Fatal("Reset left base counter state")
+		}
+	}
+	for i := range tg.tags {
+		for j := range tg.tags[i] {
+			if tg.tags[i][j] != 0 || tg.ctrs[i][j] != 0 || tg.useful[i][j] != 0 {
+				t.Fatal("Reset left tagged-table state")
+			}
+		}
+	}
+	if tg.updates != 0 {
+		t.Fatal("Reset left the update counter")
+	}
+}
+
+// TestTageIsoStorageWithGshare is the Figure 9-TAGE accounting proof: at
+// every sweep point b in 8..14, the TAGE configuration from TageIsoParams(b)
+// occupies exactly the same number of bytes as gshare with hist_bits=b,
+// measured through the registry's StateBytes (the same accounting the
+// equal-area sweep plots on its x-axis).
+func TestTageIsoStorageWithGshare(t *testing.T) {
+	for b := 8; b <= 14; b++ {
+		gBytes, err := StateBytes("gshare", Params{"hist_bits": b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tBytes, err := StateBytes("tage", TageIsoParams(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gBytes != tBytes {
+			t.Errorf("budget %d bits: gshare %d B, tage %d B — not iso-storage", b, gBytes, tBytes)
+		}
+		// And the constructed predictor agrees with the registry accounting.
+		p, err := Build("tage", TageIsoParams(b), Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.StateBytes() != tBytes {
+			t.Errorf("budget %d: constructed StateBytes %d != registry %d", b, p.StateBytes(), tBytes)
+		}
+	}
+}
+
+func TestTageRejectsInvalidConfig(t *testing.T) {
+	bad := []TageConfig{
+		{BaseBits: 1, Tables: 4, IdxBits: 5, TagBits: 11, MinHist: 4, MaxHist: 64},
+		{BaseBits: 10, Tables: 0, IdxBits: 5, TagBits: 11, MinHist: 4, MaxHist: 64},
+		{BaseBits: 10, Tables: 17, IdxBits: 5, TagBits: 11, MinHist: 4, MaxHist: 64},
+		{BaseBits: 10, Tables: 4, IdxBits: 1, TagBits: 11, MinHist: 4, MaxHist: 64},
+		{BaseBits: 10, Tables: 4, IdxBits: 5, TagBits: 16, MinHist: 4, MaxHist: 64},
+		{BaseBits: 10, Tables: 4, IdxBits: 5, TagBits: 11, MinHist: 64, MaxHist: 4},
+		{BaseBits: 10, Tables: 4, IdxBits: 5, TagBits: 11, MinHist: 4, MaxHist: 65},
+	}
+	for i, c := range bad {
+		if _, err := NewTage(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestTageLearnsHistoryCorrelatedPattern: sanity end-to-end check that the
+// predictor actually predicts — a branch whose outcome equals the history
+// bit MinHist-1 positions back is learnable by the tagged tables but not by
+// the bimodal base.
+func TestTageLearnsHistoryCorrelatedPattern(t *testing.T) {
+	tg := smallTage(t)
+	const pc = 42
+	var hist uint64
+	correct := 0
+	const warmup, measure = 2000, 2000
+	for i := 0; i < warmup+measure; i++ {
+		outcome := (hist>>1)&1 == 1 // correlated with recent history
+		pred := tg.Predict(pc, hist)
+		if i >= warmup && pred == outcome {
+			correct++
+		}
+		tg.Update(pc, hist, outcome)
+		hist = hist<<1 | b2u(outcome)
+	}
+	if acc := float64(correct) / measure; acc < 0.95 {
+		t.Errorf("history-correlated accuracy %.3f, want >= 0.95", acc)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,259 @@
+package confidence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Spec is the kind-agnostic description of a confidence estimator: the
+// named fields cover the built-in JRS/adaptive family (they are part of the
+// frozen polypath/v1 wire format), and Params is the open extension point
+// for estimators registered from outside this package. A registered kind's
+// Normalize canonicalizes the fields it does not use, so specs describing
+// the same estimator compare and hash identically.
+type Spec struct {
+	Kind          string
+	IndexBits     int
+	CtrBits       int
+	Threshold     int
+	EnhancedIndex bool
+	// AdaptiveMinPVN / AdaptiveWindow configure the adaptive kind.
+	AdaptiveMinPVN float64
+	AdaptiveWindow int
+	// Params carries extra integer parameters for registered estimators
+	// that need more than the named fields. nil and empty are equivalent.
+	Params map[string]int
+}
+
+// SpecError reports a spec field that violates a registered estimator's
+// constraints; the pipeline converts it into its typed config error.
+type SpecError struct {
+	Kind   string
+	Field  string
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("confidence: %s: %s: %s", e.Kind, e.Field, e.Reason)
+}
+
+// Entry describes one registered estimator kind. Normalize validates the
+// spec and returns its canonical form (inert fields zeroed, defaults
+// filled); New constructs the estimator from a normalized spec; StateBytes
+// returns the hardware budget in bytes for a normalized spec (nil = 0).
+type Entry struct {
+	Kind       string
+	Doc        string
+	Normalize  func(Spec) (Spec, error)
+	New        func(Spec) (Estimator, error)
+	StateBytes func(Spec) int
+}
+
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+var reg = &registry{entries: make(map[string]Entry)}
+
+// Register adds an estimator kind; duplicate or malformed registrations
+// are errors, never silent replacement.
+func Register(e Entry) error {
+	e.Kind = strings.ToLower(strings.TrimSpace(e.Kind))
+	if e.Kind == "" {
+		return fmt.Errorf("confidence: register: empty kind")
+	}
+	if e.New == nil {
+		return fmt.Errorf("confidence: register %q: nil factory", e.Kind)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.entries[e.Kind]; dup {
+		return fmt.Errorf("confidence: register %q: already registered", e.Kind)
+	}
+	reg.entries[e.Kind] = e
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins; it panics on error.
+func MustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the entry for a kind (case-insensitive).
+func Lookup(kind string) (Entry, bool) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	e, ok := reg.entries[strings.ToLower(strings.TrimSpace(kind))]
+	return e, ok
+}
+
+// Kinds returns the registered kind spellings, sorted.
+func Kinds() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]string, 0, len(reg.entries))
+	for k := range reg.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize validates s against its kind's constraints and returns the
+// canonical spec. The returned spec never aliases s.Params.
+func Normalize(s Spec) (Spec, error) {
+	e, ok := Lookup(s.Kind)
+	if !ok {
+		return Spec{}, fmt.Errorf("confidence: unknown estimator kind %q (registered: %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	s.Kind = e.Kind
+	ns, err := e.Normalize(s)
+	if err != nil {
+		return Spec{}, err
+	}
+	if len(ns.Params) == 0 {
+		ns.Params = nil
+	} else {
+		clone := make(map[string]int, len(ns.Params))
+		for k, v := range ns.Params {
+			clone[k] = v
+		}
+		ns.Params = clone
+	}
+	return ns, nil
+}
+
+// Build normalizes s and constructs the estimator.
+func Build(s Spec) (Estimator, error) {
+	ns, err := Normalize(s)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := Lookup(ns.Kind)
+	return e.New(ns)
+}
+
+// SpecStateBytes normalizes s and returns its hardware budget in bytes.
+func SpecStateBytes(s Spec) (int, error) {
+	ns, err := Normalize(s)
+	if err != nil {
+		return 0, err
+	}
+	e, _ := Lookup(ns.Kind)
+	if e.StateBytes == nil {
+		return 0, nil
+	}
+	return e.StateBytes(ns), nil
+}
+
+// rejectParams is shared by the built-in kinds, none of which use the open
+// Params map.
+func rejectParams(kind string, s Spec) error {
+	if len(s.Params) > 0 {
+		names := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return &SpecError{Kind: kind, Field: "Params", Reason: fmt.Sprintf("kind accepts no extra parameters (got %s)", strings.Join(names, ", "))}
+	}
+	return nil
+}
+
+// normalizeJRSFields validates the JRS table sizing shared by the jrs and
+// adaptive kinds.
+func normalizeJRSFields(kind string, s Spec) (Spec, error) {
+	if err := rejectParams(kind, s); err != nil {
+		return Spec{}, err
+	}
+	if s.IndexBits < 1 || s.IndexBits > 28 {
+		return Spec{}, &SpecError{Kind: kind, Field: "IndexBits", Reason: fmt.Sprintf("%d out of [1,28]", s.IndexBits)}
+	}
+	if s.CtrBits < 1 || s.CtrBits > 8 {
+		return Spec{}, &SpecError{Kind: kind, Field: "CtrBits", Reason: fmt.Sprintf("%d out of [1,8]", s.CtrBits)}
+	}
+	if max := (1 << uint(s.CtrBits)) - 1; s.Threshold < 0 || s.Threshold > max {
+		return Spec{}, &SpecError{Kind: kind, Field: "Threshold", Reason: fmt.Sprintf("%d exceeds the %d-bit counter maximum %d (0 selects saturation)", s.Threshold, s.CtrBits, max)}
+	}
+	return s, nil
+}
+
+func jrsFromSpec(s Spec) *JRS {
+	return NewJRS(JRSConfig{
+		IndexBits:     s.IndexBits,
+		CtrBits:       s.CtrBits,
+		Threshold:     s.Threshold,
+		EnhancedIndex: s.EnhancedIndex,
+	})
+}
+
+// degenerateEntry registers a stateless estimator kind: every sizing field
+// is inert and canonicalized away.
+func degenerateEntry(kind, doc string, est Estimator) Entry {
+	return Entry{
+		Kind: kind,
+		Doc:  doc,
+		Normalize: func(s Spec) (Spec, error) {
+			if err := rejectParams(kind, s); err != nil {
+				return Spec{}, err
+			}
+			return Spec{Kind: kind}, nil
+		},
+		New: func(Spec) (Estimator, error) { return est, nil },
+	}
+}
+
+func init() {
+	MustRegister(Entry{
+		Kind: "jrs",
+		Doc:  "Jacobsen-Rotenberg-Smith resetting counters (the paper's estimator)",
+		Normalize: func(s Spec) (Spec, error) {
+			ns, err := normalizeJRSFields("jrs", s)
+			if err != nil {
+				return Spec{}, err
+			}
+			ns.AdaptiveMinPVN = 0
+			ns.AdaptiveWindow = 0
+			return ns, nil
+		},
+		New:        func(s Spec) (Estimator, error) { return jrsFromSpec(s), nil },
+		StateBytes: func(s Spec) int { return (1 << uint(s.IndexBits)) * s.CtrBits / 8 },
+	})
+	MustRegister(Entry{
+		Kind: "adaptive",
+		Doc:  "JRS wrapped with the Sec. 5.1 PVN monitor (reverts to monopath when PVN drops)",
+		Normalize: func(s Spec) (Spec, error) {
+			ns, err := normalizeJRSFields("adaptive", s)
+			if err != nil {
+				return Spec{}, err
+			}
+			if ns.AdaptiveMinPVN < 0 || ns.AdaptiveMinPVN >= 1 {
+				return Spec{}, &SpecError{Kind: "adaptive", Field: "AdaptiveMinPVN", Reason: fmt.Sprintf("%g out of [0,1) (0 selects the default 0.30)", ns.AdaptiveMinPVN)}
+			}
+			if ns.AdaptiveWindow != 0 && ns.AdaptiveWindow < 8 {
+				return Spec{}, &SpecError{Kind: "adaptive", Field: "AdaptiveWindow", Reason: fmt.Sprintf("%d must be 0 (default 256) or >= 8", ns.AdaptiveWindow)}
+			}
+			if ns.AdaptiveMinPVN == 0 {
+				ns.AdaptiveMinPVN = 0.30
+			}
+			if ns.AdaptiveWindow == 0 {
+				ns.AdaptiveWindow = 256
+			}
+			return ns, nil
+		},
+		New: func(s Spec) (Estimator, error) {
+			return NewAdaptive(jrsFromSpec(s), AdaptiveConfig{MinPVN: s.AdaptiveMinPVN, Window: s.AdaptiveWindow}), nil
+		},
+		StateBytes: func(s Spec) int {
+			return (1<<uint(s.IndexBits))*s.CtrBits/8 + s.AdaptiveWindow/8 + 4
+		},
+	})
+	MustRegister(degenerateEntry("oracle", "perfect estimator: low confidence exactly on mispredictions", Oracle{}))
+	MustRegister(degenerateEntry("always-high", "never diverge (monopath behaviour)", AlwaysHigh{}))
+	MustRegister(degenerateEntry("always-low", "diverge on every branch resources permit", AlwaysLow{}))
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -159,6 +160,18 @@ func ConfigSEEAdaptive() Config {
 	return c
 }
 
+// ConfigSEETage returns SEE with the TAGE predictor sized to exactly the
+// storage of the default gshare(11) ("tage/JRS"): the iso-storage point the
+// Figure 9-TAGE equal-area sweep passes through at 11 budget bits.
+func ConfigSEETage() Config {
+	c := pipeline.DefaultConfig()
+	c.Predictor = pipeline.PredictorSpec{
+		Kind:   pipeline.PredTage,
+		Params: map[string]int(bpred.TageIsoParams(11)),
+	}
+	return c
+}
+
 // modelConfigs is the single registry of machine-model spellings shared by
 // every front end (polysim, polydbg, polyserve): one place to add a model,
 // one set of accepted names.
@@ -170,6 +183,7 @@ var modelConfigs = map[string]func() Config{
 	"see-oracle-ce":  ConfigSEEOracleCE,
 	"dual-oracle-ce": ConfigDualPathOracleCE,
 	"adaptive":       ConfigSEEAdaptive,
+	"tage":           ConfigSEETage,
 	"eager": func() Config {
 		c := ConfigSEE()
 		c.Confidence.Kind = pipeline.ConfAlwaysLow

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -294,12 +296,75 @@ func Figure9(opts Options) (*SweepResult, error) {
 			label: fmt.Sprintf("%d bits (%d B)", bits, pred+conf),
 			x:     float64(pred + conf),
 			mutate: func(c *core.Config) {
-				c.Predictor.HistBits = bits
+				c.Predictor = c.Predictor.WithParam("hist_bits", bits)
 				c.Confidence.IndexBits = bits
 			},
 		})
 	}
 	return runSweep(opts, "Figure 9: branch predictor size (harmonic mean IPC)", "predictor state", points)
+}
+
+// Figure9TAGE is the equal-area companion to Figure 9: at every storage
+// budget of the Figure 9 sweep (8-14 budget bits), it compares gshare
+// against a TAGE predictor sized by bpred.TageIsoParams to occupy exactly
+// the same number of bytes (asserted by the bpred iso-storage tests), under
+// both the monopath baseline and the SEE machine with the JRS estimator.
+// The x axis is total predictor + confidence state, as in Figure 9.
+func Figure9TAGE(opts Options) (*SweepResult, error) {
+	res := &SweepResult{
+		Title:  "Figure 9-TAGE: equal-area predictor comparison (harmonic mean IPC)",
+		XLabel: "predictor state",
+		Configs: []string{
+			"gshare/monopath", "tage/monopath", "gshare/JRS", "tage/JRS",
+		},
+	}
+	for _, bits := range []int{8, 9, 10, 11, 12, 13, 14} {
+		predBytes, err := bpred.StateBytes("gshare", bpred.Params{"hist_bits": bits})
+		if err != nil {
+			return nil, err
+		}
+		tageParams := map[string]int(bpred.TageIsoParams(bits))
+		confBytes := 1 << uint(bits) / 8 // 1-bit JRS counters
+		gshare := func(c *core.Config) {
+			c.Predictor = c.Predictor.WithParam("hist_bits", bits)
+			c.Confidence.IndexBits = bits
+		}
+		tage := func(c *core.Config) {
+			c.Predictor = pipeline.PredictorSpec{Kind: pipeline.PredTage, Params: tageParams}
+			c.Confidence.IndexBits = bits
+		}
+		mono, see := core.ConfigMonopath(), core.ConfigSEE()
+		cells := []NamedConfig{
+			{Name: "gshare/monopath", Cfg: mono},
+			{Name: "tage/monopath", Cfg: mono},
+			{Name: "gshare/JRS", Cfg: see},
+			{Name: "tage/JRS", Cfg: see},
+		}
+		gshare(&cells[0].Cfg)
+		tage(&cells[1].Cfg)
+		gshare(&cells[2].Cfg)
+		tage(&cells[3].Cfg)
+		mat, err := runMatrix(opts, cells)
+		if err != nil {
+			return nil, err
+		}
+		sp := SweepPoint{
+			Label:    fmt.Sprintf("%d bits (%d B)", bits, predBytes+confBytes),
+			X:        float64(predBytes + confBytes),
+			IPC:      make(map[string]float64),
+			PerBench: make(map[string]map[string]float64),
+		}
+		for _, c := range res.Configs {
+			sp.IPC[c] = mat.HarmonicMean(c)
+			row := make(map[string]float64, len(mat.Benchmarks))
+			for _, b := range mat.Benchmarks {
+				row[b] = mat.IPC(b, c)
+			}
+			sp.PerBench[c] = row
+		}
+		res.Points = append(res.Points, sp)
+	}
+	return res, nil
 }
 
 // Figure10 reproduces the instruction-window-size study (64-1024 entries).

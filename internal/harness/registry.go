@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"table1", func(o Options) (Renderable, error) { return Table1(o) }},
 		{"fig8", func(o Options) (Renderable, error) { return Figure8(o) }},
 		{"fig9", wrap(Figure9)},
+		{"fig9-tage", wrap(Figure9TAGE)},
 		{"fig10", wrap(Figure10)},
 		{"fig11", wrap(Figure11)},
 		{"fig12", wrap(Figure12)},

@@ -38,6 +38,19 @@ func fuzzConfigs() []struct {
 	eager := pipeline.DefaultConfig()
 	eager.Confidence.Kind = pipeline.ConfAlwaysLow
 
+	// A TAGE-predicted SEE machine: the tagged-table predictor exercises a
+	// different predictor/pipeline interaction (allocation on mispredict,
+	// history folding) under the same differential oracle. Tiny tables keep
+	// aliasing pressure high at fuzz sizes.
+	tage := pipeline.DefaultConfig()
+	tage.Predictor = pipeline.PredictorSpec{
+		Kind: pipeline.PredTage,
+		Params: map[string]int{
+			"base_bits": 6, "tables": 4, "idx_bits": 4, "tag_bits": 7,
+			"min_hist": 2, "max_hist": 32,
+		},
+	}
+
 	tiny := pipeline.DefaultConfig()
 	tiny.Confidence.Kind = pipeline.ConfAlwaysLow
 	tiny.WindowSize = 16
@@ -61,6 +74,7 @@ func fuzzConfigs() []struct {
 	}{
 		{"monopath", mono},
 		{"polypath-jrs", see},
+		{"polypath-tage", tage},
 		{"polypath-eager", eager},
 		{"tiny-machine", tiny},
 	}

@@ -10,8 +10,11 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/confidence"
 	"repro/internal/ctxtag"
@@ -41,51 +44,94 @@ func (m Mode) String() string {
 	}
 }
 
-// PredictorKind selects the branch direction predictor.
-type PredictorKind int
+// PredictorKind names a branch direction predictor registered in
+// bpred.Registry. The set of valid kinds is open: any kind registered with
+// bpred.Register (built-in or at runtime) is accepted, and ParsePredictorKind
+// enumerates the currently registered set.
+type PredictorKind string
 
+// Built-in predictor kinds. These constants are retained for source
+// compatibility with pre-registry code; new code can use any registered
+// kind string directly.
 const (
 	// PredGshare is the paper's baseline (McFarling).
-	PredGshare PredictorKind = iota
+	PredGshare PredictorKind = "gshare"
 	// PredBimodal is a per-address 2-bit counter table.
-	PredBimodal
+	PredBimodal PredictorKind = "bimodal"
 	// PredStatic is backward-taken/forward-not-taken.
-	PredStatic
+	PredStatic PredictorKind = "static"
 	// PredOracle predicts perfectly on the architecturally correct path
 	// (the "oracle" bars of Fig. 8).
-	PredOracle
+	PredOracle PredictorKind = "oracle"
 	// PredLocal is a two-level local-history (PAg) predictor.
-	PredLocal
+	PredLocal PredictorKind = "local"
 	// PredCombining is McFarling's combining predictor (bimodal + gshare
 	// with a chooser).
-	PredCombining
+	PredCombining PredictorKind = "combining"
+	// PredTage is the TAGE predictor: base bimodal + tagged
+	// geometric-history tables with CLZ longest-match selection.
+	PredTage PredictorKind = "tage"
 )
 
-// ConfidenceKind selects the branch confidence estimator.
-type ConfidenceKind int
+// ConfidenceKind names a confidence estimator registered in
+// confidence.Registry; like PredictorKind the valid set is open.
+type ConfidenceKind string
 
+// Built-in confidence kinds, retained for source compatibility.
 const (
 	// ConfJRS is the Jacobsen-Rotenberg-Smith estimator with resetting
 	// counters (the paper's real estimator).
-	ConfJRS ConfidenceKind = iota
+	ConfJRS ConfidenceKind = "jrs"
 	// ConfOracle is the perfect estimator: low confidence exactly on
 	// mispredictions ("gshare/oracle" in Fig. 8).
-	ConfOracle
+	ConfOracle ConfidenceKind = "oracle"
 	// ConfAlwaysHigh never diverges (monopath behaviour).
-	ConfAlwaysHigh
+	ConfAlwaysHigh ConfidenceKind = "always-high"
 	// ConfAlwaysLow diverges on every branch resources permit.
-	ConfAlwaysLow
+	ConfAlwaysLow ConfidenceKind = "always-low"
 	// ConfAdaptive is JRS wrapped with the PVN monitor of Sec. 5.1's
 	// "lesson learned".
-	ConfAdaptive
+	ConfAdaptive ConfidenceKind = "adaptive"
 )
 
-// PredictorSpec configures the direction predictor.
+// PredictorSpec configures the direction predictor as an opaque
+// (kind, parameters) pair resolved against bpred.Registry: the pipeline
+// carries the parameter map without interpreting it, so adding a predictor
+// requires edits only under internal/bpred.
 type PredictorSpec struct {
 	Kind PredictorKind
-	// HistBits is the history length / log2 table size for gshare (index
-	// bits for bimodal). The paper's baseline is 14.
-	HistBits int
+	// Params are the kind's sizing parameters by schema name (for the
+	// classic kinds, "hist_bits": history length / log2 table size — the
+	// paper's baseline is 14). Absent optional parameters take their
+	// registered defaults; normalization fills them in and rejects unknown
+	// names and out-of-range values. nil and empty are equivalent.
+	Params map[string]int
+}
+
+// Param returns the named parameter, or def when absent.
+func (p PredictorSpec) Param(name string, def int) int {
+	if v, ok := p.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// WithParam returns a copy of the spec with one parameter set. The
+// parameter map is copied, never mutated in place, so specs embedded in
+// configs copied by value cannot alias each other's state.
+func (p PredictorSpec) WithParam(name string, v int) PredictorSpec {
+	np := make(map[string]int, len(p.Params)+1)
+	for k, pv := range p.Params {
+		np[k] = pv
+	}
+	np[name] = v
+	p.Params = np
+	return p
+}
+
+// PredictorOf builds a spec from a kind and a literal parameter map.
+func PredictorOf(kind PredictorKind, params map[string]int) PredictorSpec {
+	return PredictorSpec{Kind: kind, Params: params}
 }
 
 // ConfidenceSpec configures the confidence estimator.
@@ -103,6 +149,10 @@ type ConfidenceSpec struct {
 	// AdaptiveMinPVN / AdaptiveWindow configure ConfAdaptive.
 	AdaptiveMinPVN float64
 	AdaptiveWindow int
+	// Params carries extra integer parameters for estimator kinds
+	// registered from outside internal/confidence; the built-in kinds
+	// accept none. nil and empty are equivalent.
+	Params map[string]int
 }
 
 // Config describes the simulated machine. DefaultConfig returns the
@@ -233,7 +283,7 @@ func DefaultConfig() Config {
 		MaxDivergences:  0,
 		BTBBits:         9,
 		RASDepth:        16,
-		Predictor:       PredictorSpec{Kind: PredGshare, HistBits: 11},
+		Predictor:       PredictorSpec{Kind: PredGshare, Params: map[string]int{"hist_bits": 11}},
 		Confidence: ConfidenceSpec{
 			Kind:          ConfJRS,
 			IndexBits:     11,
@@ -289,12 +339,16 @@ func (c Config) normalize() (Config, error) {
 	case c.Audit != AuditOff && c.Audit != AuditCommit && c.Audit != AuditCycle:
 		return c, cfgErr("Audit", "unknown audit level %d", int(c.Audit))
 	}
-	if err := c.Predictor.validate(); err != nil {
+	np, err := c.Predictor.normalize()
+	if err != nil {
 		return c, err
 	}
-	if err := c.Confidence.validate(); err != nil {
+	c.Predictor = np
+	nc, err := c.Confidence.normalize()
+	if err != nil {
 		return c, err
 	}
+	c.Confidence = nc
 	if c.Predictor.Kind == PredOracle && c.Confidence.Kind == ConfAdaptive {
 		return c, cfgErr("Confidence.Kind", "adaptive (PVN-monitoring) confidence is undefined under the oracle predictor: a perfect predictor never mispredicts, so the monitored PVN has no sample to converge on")
 	}
@@ -346,103 +400,88 @@ func (c Config) normalize() (Config, error) {
 	if !c.EnableMRC {
 		c.MRCBits = 8 // inert; keep the canonical default
 	}
-	// Canonicalize inert sizing fields so that configurations describing
-	// the same machine normalize (and therefore hash) identically.
-	switch c.Predictor.Kind {
-	case PredStatic, PredOracle:
-		c.Predictor.HistBits = 0
-	}
-	switch c.Confidence.Kind {
-	case ConfOracle, ConfAlwaysHigh, ConfAlwaysLow:
-		c.Confidence = ConfidenceSpec{Kind: c.Confidence.Kind}
-	case ConfJRS:
-		c.Confidence.AdaptiveMinPVN = 0
-		c.Confidence.AdaptiveWindow = 0
-	case ConfAdaptive:
-		if c.Confidence.AdaptiveMinPVN == 0 {
-			c.Confidence.AdaptiveMinPVN = 0.30
-		}
-		if c.Confidence.AdaptiveWindow == 0 {
-			c.Confidence.AdaptiveWindow = 256
-		}
-	}
 	return c, nil
 }
 
-// validate checks the predictor spec against the table-size bounds of the
-// bpred constructors, so construction can never panic on user input.
-func (p PredictorSpec) validate() error {
-	switch p.Kind {
-	case PredGshare, PredBimodal, PredLocal, PredCombining:
-		if p.HistBits < 2 || p.HistBits > 28 {
-			return cfgErr("Predictor.HistBits", "%d out of [2,28] for %s", p.HistBits, p.Kind)
-		}
-	case PredStatic, PredOracle:
-		// History length is inert for these kinds.
-	default:
-		return cfgErr("Predictor.Kind", "unknown predictor kind %d", int(p.Kind))
+// normalize resolves the spec against bpred.Registry: the kind must be
+// registered, parameters are schema-checked with defaults filled, and the
+// returned spec's parameter map is canonical and freshly allocated (inert
+// and unknown-name errors surface as *ConfigError, never panics).
+func (p PredictorSpec) normalize() (PredictorSpec, error) {
+	if _, ok := bpred.Lookup(string(p.Kind)); !ok {
+		return p, cfgErr("Predictor.Kind", "unknown predictor kind %q (registered: %s)", string(p.Kind), strings.Join(bpred.Kinds(), ", "))
 	}
-	return nil
+	p.Kind = PredictorKind(strings.ToLower(strings.TrimSpace(string(p.Kind))))
+	// hist_bits is the legacy sizing field every pre-registry config carried;
+	// on the legacy v1 kinds whose schema has no such parameter (static,
+	// oracle) it was inert, and normalization canonicalizes it away rather
+	// than rejecting it — the Figure 9 sweep sets hist_bits uniformly across
+	// its config set, oracle bars included. Post-v1 kinds (tage, runtime
+	// registrations) get strict schema validation: any parameter their
+	// schema does not declare, hist_bits included, is an error.
+	if _, ok := p.Params["hist_bits"]; ok && v1PredictorKinds[p.Kind] && !predictorAcceptsParam(p.Kind, "hist_bits") {
+		np := make(map[string]int, len(p.Params)-1)
+		for k, v := range p.Params {
+			if k != "hist_bits" {
+				np[k] = v
+			}
+		}
+		p.Params = np
+	}
+	np, err := bpred.NormalizeParams(string(p.Kind), bpred.Params(p.Params))
+	if err != nil {
+		var pe *bpred.ParamError
+		if errors.As(err, &pe) {
+			return p, cfgErr("Predictor."+pe.Param, "%s (kind %s)", pe.Reason, pe.Kind)
+		}
+		return p, cfgErr("Predictor", "%v", err)
+	}
+	p.Params = np
+	return p, nil
 }
 
-// validate checks the confidence spec against the JRS/adaptive constructor
-// bounds (panic-free construction for any validated config).
-func (cs ConfidenceSpec) validate() error {
-	switch cs.Kind {
-	case ConfJRS, ConfAdaptive:
-		if cs.IndexBits < 1 || cs.IndexBits > 28 {
-			return cfgErr("Confidence.IndexBits", "%d out of [1,28]", cs.IndexBits)
+// normalize resolves the spec against confidence.Registry, canonicalizing
+// inert fields and filling kind defaults.
+func (cs ConfidenceSpec) normalize() (ConfidenceSpec, error) {
+	ns, err := confidence.Normalize(confidence.Spec{
+		Kind:           string(cs.Kind),
+		IndexBits:      cs.IndexBits,
+		CtrBits:        cs.CtrBits,
+		Threshold:      cs.Threshold,
+		EnhancedIndex:  cs.EnhancedIndex,
+		AdaptiveMinPVN: cs.AdaptiveMinPVN,
+		AdaptiveWindow: cs.AdaptiveWindow,
+		Params:         cs.Params,
+	})
+	if err != nil {
+		var se *confidence.SpecError
+		if errors.As(err, &se) {
+			return cs, cfgErr("Confidence."+se.Field, "%s (kind %s)", se.Reason, se.Kind)
 		}
-		if cs.CtrBits < 1 || cs.CtrBits > 8 {
-			return cfgErr("Confidence.CtrBits", "%d out of [1,8]", cs.CtrBits)
-		}
-		if cs.Threshold < 0 || cs.Threshold > (1<<cs.CtrBits)-1 {
-			return cfgErr("Confidence.Threshold", "%d exceeds the %d-bit counter maximum %d (0 selects saturation)", cs.Threshold, cs.CtrBits, (1<<cs.CtrBits)-1)
-		}
-	case ConfOracle, ConfAlwaysHigh, ConfAlwaysLow:
-		// Sizing fields are inert.
-	default:
-		return cfgErr("Confidence.Kind", "unknown confidence kind %d", int(cs.Kind))
+		return cs, cfgErr("Confidence.Kind", "unknown confidence kind %q (registered: %s)", string(cs.Kind), strings.Join(confidence.Kinds(), ", "))
 	}
-	if cs.Kind == ConfAdaptive {
-		if cs.AdaptiveMinPVN < 0 || cs.AdaptiveMinPVN >= 1 {
-			return cfgErr("Confidence.AdaptiveMinPVN", "%g out of [0,1) (0 selects the default 0.30)", cs.AdaptiveMinPVN)
-		}
-		if cs.AdaptiveWindow != 0 && cs.AdaptiveWindow < 8 {
-			return cfgErr("Confidence.AdaptiveWindow", "%d must be 0 (default 256) or >= 8", cs.AdaptiveWindow)
-		}
-	}
-	return nil
+	return ConfidenceSpec{
+		Kind:           ConfidenceKind(ns.Kind),
+		IndexBits:      ns.IndexBits,
+		CtrBits:        ns.CtrBits,
+		Threshold:      ns.Threshold,
+		EnhancedIndex:  ns.EnhancedIndex,
+		AdaptiveMinPVN: ns.AdaptiveMinPVN,
+		AdaptiveWindow: ns.AdaptiveWindow,
+		Params:         ns.Params,
+	}, nil
 }
 
-// buildConfidence constructs the estimator for a spec.
+// buildConfidence constructs the estimator for a (normalized or raw) spec.
 func buildConfidence(cs ConfidenceSpec) (confidence.Estimator, error) {
-	switch cs.Kind {
-	case ConfJRS, ConfAdaptive:
-		jrs := confidence.NewJRS(confidence.JRSConfig{
-			IndexBits:     cs.IndexBits,
-			CtrBits:       cs.CtrBits,
-			Threshold:     cs.Threshold,
-			EnhancedIndex: cs.EnhancedIndex,
-		})
-		if cs.Kind == ConfJRS {
-			return jrs, nil
-		}
-		minPVN, window := cs.AdaptiveMinPVN, cs.AdaptiveWindow
-		if minPVN == 0 {
-			minPVN = 0.30
-		}
-		if window == 0 {
-			window = 256
-		}
-		return confidence.NewAdaptive(jrs, confidence.AdaptiveConfig{MinPVN: minPVN, Window: window}), nil
-	case ConfOracle:
-		return confidence.Oracle{}, nil
-	case ConfAlwaysHigh:
-		return confidence.AlwaysHigh{}, nil
-	case ConfAlwaysLow:
-		return confidence.AlwaysLow{}, nil
-	default:
-		return nil, fmt.Errorf("pipeline: unknown confidence kind %d", cs.Kind)
-	}
+	return confidence.Build(confidence.Spec{
+		Kind:           string(cs.Kind),
+		IndexBits:      cs.IndexBits,
+		CtrBits:        cs.CtrBits,
+		Threshold:      cs.Threshold,
+		EnhancedIndex:  cs.EnhancedIndex,
+		AdaptiveMinPVN: cs.AdaptiveMinPVN,
+		AdaptiveWindow: cs.AdaptiveWindow,
+		Params:         cs.Params,
+	})
 }

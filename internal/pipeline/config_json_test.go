@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -32,7 +33,7 @@ func TestConfigV1RoundTrip(t *testing.T) {
 	c.Confidence.Kind = ConfAlwaysHigh
 	cfgs = append(cfgs, c)
 	c = DefaultConfig()
-	c.Predictor = PredictorSpec{Kind: PredCombining, HistBits: 9}
+	c.Predictor = PredictorSpec{Kind: PredCombining, Params: map[string]int{"hist_bits": 9}}
 	c.Confidence = ConfidenceSpec{Kind: ConfAdaptive, IndexBits: 9, CtrBits: 4, Threshold: 8, EnhancedIndex: true}
 	c.MaxDivergences = 1
 	c.ResolutionBuses = 2
@@ -57,7 +58,7 @@ func TestConfigV1RoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("cfg %d: round-trip changed the normalized config\n got %+v\nwant %+v", i, got, want)
 		}
 		blob2, err := EncodeConfigV1(back)

@@ -171,13 +171,13 @@ func TestCallReturnArchEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := m.Run(); err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		if err := m.VerifyArchState(); err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		if m.Stats.IndirectJumps == 0 {
-			t.Fatalf("kind %d: no returns committed", kind)
+			t.Fatalf("kind %q: no returns committed", kind)
 		}
 	}
 }

@@ -4,34 +4,22 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/confidence"
 )
 
 // This file is the single source of truth for the textual spellings of the
-// configuration enumerations (mode, predictor kind, confidence kind, fetch
-// policy). Every command-line flag and every wire-format field parses and
-// prints through these tables, so a spelling accepted by one tool is
-// accepted by all of them.
+// configuration enumerations. Mode and fetch policy are closed enums with
+// name tables here; predictor and confidence kinds are open sets
+// enumerated from the bpred/confidence registries, so a kind registered
+// anywhere (built-in or at runtime) is immediately parseable by every
+// command-line flag and wire-format field — the accepted set can never
+// drift from the registered set.
 
 var modeNames = map[Mode]string{
 	Monopath: "monopath",
 	PolyPath: "polypath",
-}
-
-var predictorNames = map[PredictorKind]string{
-	PredGshare:    "gshare",
-	PredBimodal:   "bimodal",
-	PredStatic:    "static",
-	PredOracle:    "oracle",
-	PredLocal:     "local",
-	PredCombining: "combining",
-}
-
-var confidenceNames = map[ConfidenceKind]string{
-	ConfJRS:        "jrs",
-	ConfOracle:     "oracle",
-	ConfAlwaysHigh: "always-high",
-	ConfAlwaysLow:  "always-low",
-	ConfAdaptive:   "adaptive",
 }
 
 var fetchPolicyNames = map[FetchPolicy]string{
@@ -39,19 +27,9 @@ var fetchPolicyNames = map[FetchPolicy]string{
 	FetchRoundRobin:  "round-robin",
 }
 
-func (k PredictorKind) String() string {
-	if s, ok := predictorNames[k]; ok {
-		return s
-	}
-	return fmt.Sprintf("predictor(%d)", int(k))
-}
+func (k PredictorKind) String() string { return string(k) }
 
-func (k ConfidenceKind) String() string {
-	if s, ok := confidenceNames[k]; ok {
-		return s
-	}
-	return fmt.Sprintf("confidence(%d)", int(k))
-}
+func (k ConfidenceKind) String() string { return string(k) }
 
 func (p FetchPolicy) String() string {
 	if s, ok := fetchPolicyNames[p]; ok {
@@ -83,17 +61,33 @@ func ParseMode(s string) (Mode, error) {
 	return parseKind("Mode", s, modeNames)
 }
 
-// ParsePredictorKind parses a predictor spelling ("gshare", "bimodal",
-// "static", "oracle", "local", "combining").
+// ParsePredictorKind resolves a predictor spelling against bpred.Registry.
+// The error for an unknown spelling lists the currently registered kinds.
 func ParsePredictorKind(s string) (PredictorKind, error) {
-	return parseKind("Predictor.Kind", s, predictorNames)
+	want := strings.ToLower(strings.TrimSpace(s))
+	if _, ok := bpred.Lookup(want); ok {
+		return PredictorKind(want), nil
+	}
+	return "", &ConfigError{Field: "Predictor.Kind", Reason: fmt.Sprintf("unknown value %q (registered: %s)", s, strings.Join(bpred.Kinds(), ", "))}
 }
 
-// ParseConfidenceKind parses a confidence-estimator spelling ("jrs",
-// "oracle", "always-high", "always-low", "adaptive").
+// ParseConfidenceKind resolves a confidence-estimator spelling against
+// confidence.Registry; unknown spellings list the registered kinds.
 func ParseConfidenceKind(s string) (ConfidenceKind, error) {
-	return parseKind("Confidence.Kind", s, confidenceNames)
+	want := strings.ToLower(strings.TrimSpace(s))
+	if _, ok := confidence.Lookup(want); ok {
+		return ConfidenceKind(want), nil
+	}
+	return "", &ConfigError{Field: "Confidence.Kind", Reason: fmt.Sprintf("unknown value %q (registered: %s)", s, strings.Join(confidence.Kinds(), ", "))}
 }
+
+// PredictorKinds returns the currently registered predictor kinds, sorted
+// (for CLI help text and docs).
+func PredictorKinds() []string { return bpred.Kinds() }
+
+// ConfidenceKinds returns the currently registered confidence-estimator
+// kinds, sorted.
+func ConfidenceKinds() []string { return confidence.Kinds() }
 
 // ParseFetchPolicy parses a fetch-policy spelling ("exponential",
 // "round-robin").

@@ -4,22 +4,26 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/confidence"
 )
 
-// TestKindRoundTrips drives every enumerator of every kind through
-// String() and back through its parser, exhaustively: a spelling printed
-// anywhere in the system must parse everywhere in the system.
+// TestKindRoundTrips drives every registered kind (and every enumerator of
+// the closed enums) through String() and back through its parser,
+// exhaustively: a spelling printed anywhere in the system must parse
+// everywhere in the system.
 func TestKindRoundTrips(t *testing.T) {
-	for k := range predictorNames {
-		got, err := ParsePredictorKind(k.String())
-		if err != nil || got != k {
-			t.Errorf("predictor %v: round-trip got %v, err %v", k, got, err)
+	for _, name := range bpred.Kinds() {
+		got, err := ParsePredictorKind(name)
+		if err != nil || got.String() != name {
+			t.Errorf("predictor %q: round-trip got %v, err %v", name, got, err)
 		}
 	}
-	for k := range confidenceNames {
-		got, err := ParseConfidenceKind(k.String())
-		if err != nil || got != k {
-			t.Errorf("confidence %v: round-trip got %v, err %v", k, got, err)
+	for _, name := range confidence.Kinds() {
+		got, err := ParseConfidenceKind(name)
+		if err != nil || got.String() != name {
+			t.Errorf("confidence %q: round-trip got %v, err %v", name, got, err)
 		}
 	}
 	for m := range modeNames {
@@ -36,14 +40,19 @@ func TestKindRoundTrips(t *testing.T) {
 	}
 }
 
-// TestKindTablesExhaustive pins the name tables to the enum definitions:
-// adding an enumerator without a spelling (or vice versa) fails here.
-func TestKindTablesExhaustive(t *testing.T) {
-	if len(predictorNames) != int(PredCombining)+1 {
-		t.Errorf("predictorNames has %d entries, enum has %d", len(predictorNames), int(PredCombining)+1)
+// TestBuiltinKindsRegistered pins the deprecated constants to the
+// registries: every constant this package exports must resolve to a
+// registered kind, and the closed enums keep their exhaustive name tables.
+func TestBuiltinKindsRegistered(t *testing.T) {
+	for _, k := range []PredictorKind{PredGshare, PredBimodal, PredStatic, PredOracle, PredLocal, PredCombining, PredTage} {
+		if _, ok := bpred.Lookup(string(k)); !ok {
+			t.Errorf("predictor constant %q is not registered", k)
+		}
 	}
-	if len(confidenceNames) != int(ConfAdaptive)+1 {
-		t.Errorf("confidenceNames has %d entries, enum has %d", len(confidenceNames), int(ConfAdaptive)+1)
+	for _, k := range []ConfidenceKind{ConfJRS, ConfOracle, ConfAlwaysHigh, ConfAlwaysLow, ConfAdaptive} {
+		if _, ok := confidence.Lookup(string(k)); !ok {
+			t.Errorf("confidence constant %q is not registered", k)
+		}
 	}
 	if len(modeNames) != int(PolyPath)+1 {
 		t.Errorf("modeNames has %d entries, enum has %d", len(modeNames), int(PolyPath)+1)
@@ -60,6 +69,10 @@ func TestParseKindNormalizesSpelling(t *testing.T) {
 	}
 }
 
+// TestParseKindUnknownIsTypedAndDescriptive requires unknown-kind errors
+// to enumerate the live registry contents — including kinds (like tage)
+// added after the original closed enums — so the message can never drift
+// from the accepted set.
 func TestParseKindUnknownIsTypedAndDescriptive(t *testing.T) {
 	_, err := ParseConfidenceKind("grapefruit")
 	if err == nil {
@@ -71,5 +84,15 @@ func TestParseKindUnknownIsTypedAndDescriptive(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "jrs") || !strings.Contains(err.Error(), "adaptive") {
 		t.Errorf("error should list valid spellings, got %q", err)
+	}
+
+	_, err = ParsePredictorKind("grapefruit")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range bpred.Kinds() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("predictor error should list registered kind %q, got %q", want, err)
+		}
 	}
 }

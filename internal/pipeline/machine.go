@@ -322,29 +322,19 @@ func NewWithArena(prog *isa.Program, cfg Config, a *Arena) (*Machine, error) {
 		m.physReady.Set(rename.PhysReg(i))
 	}
 
-	switch cfg.Predictor.Kind {
-	case PredGshare:
-		m.pred = bpred.NewGshare(cfg.Predictor.HistBits)
-	case PredBimodal:
-		m.pred = bpred.NewBimodal(cfg.Predictor.HistBits)
-	case PredStatic:
-		m.pred = &bpred.Static{TargetOf: func(pc int) int { return int(prog.Code[pc].Target) }}
-	case PredLocal:
-		m.pred = bpred.NewLocal(cfg.Predictor.HistBits, cfg.Predictor.HistBits)
-	case PredCombining:
-		// Equal-area-ish split: each component one bit smaller than the
-		// requested budget, plus a chooser.
-		bits := cfg.Predictor.HistBits - 1
-		if bits < 2 {
-			bits = 2
-		}
-		m.pred = bpred.NewCombining(bpred.NewBimodal(bits), bpred.NewGshare(bits), bits)
-	case PredOracle:
-		m.pred = bpred.NewGshare(2) // placeholder; predictions come from the trace
-		m.oracle = true
-	default:
-		return nil, fmt.Errorf("pipeline: unknown predictor kind %d", cfg.Predictor.Kind)
+	// The predictor is resolved through the open registry: the normalized
+	// config's (kind, params) pair picks the registered factory, so a
+	// predictor added under internal/bpred (or registered at runtime) runs
+	// here with no pipeline edits. The oracle kind is the one
+	// pipeline-special case — its registry factory supplies a null pattern
+	// table and the machine predicts from the reference trace instead.
+	m.pred, err = bpred.Build(string(cfg.Predictor.Kind), bpred.Params(cfg.Predictor.Params), bpred.Env{
+		TargetOf: func(pc int) int { return int(prog.Code[pc].Target) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: predictor %q: %w", string(cfg.Predictor.Kind), err)
 	}
+	m.oracle = cfg.Predictor.Kind == PredOracle
 	m.conf, err = buildConfidence(cfg.Confidence)
 	if err != nil {
 		return nil, err

@@ -68,12 +68,12 @@ func TestPhysicalRegistersConserved(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := m.Run(); err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		// Every in-flight allocation is freed at kill or commit; at halt
 		// the only live registers are the 32 named by the retirement map.
 		if got := m.freeList.InUse(); got != isa.NumRegs {
-			t.Errorf("kind %d: %d physical registers in use at halt, want %d", kind, got, isa.NumRegs)
+			t.Errorf("kind %q: %d physical registers in use at halt, want %d", kind, got, isa.NumRegs)
 		}
 	}
 }
@@ -411,16 +411,16 @@ func TestAlternatePredictorsEndToEnd(t *testing.T) {
 		cfg.Predictor.Kind = kind
 		m, err := New(prog, cfg)
 		if err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		if err := m.Run(); err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		if err := m.VerifyArchState(); err != nil {
-			t.Fatalf("kind %d: %v", kind, err)
+			t.Fatalf("kind %q: %v", kind, err)
 		}
 		if m.Stats.CondBranches == 0 {
-			t.Fatalf("kind %d: no branches", kind)
+			t.Fatalf("kind %q: no branches", kind)
 		}
 	}
 }

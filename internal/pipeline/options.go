@@ -88,12 +88,22 @@ func WithUniformUnits(n int) Option {
 	}
 }
 
-// WithHistoryBits sets the predictor history length and keeps the
+// WithHistoryBits sets the predictor's hist_bits parameter and keeps the
 // confidence-estimator index in lockstep, the pairing the paper evaluates.
+// (It applies to the classic global-history kinds; predictors without a
+// hist_bits parameter reject it at validation.)
 func WithHistoryBits(bits int) Option {
 	return func(c *Config) {
-		c.Predictor.HistBits = bits
+		c.Predictor = c.Predictor.WithParam("hist_bits", bits)
 		c.Confidence.IndexBits = bits
+	}
+}
+
+// WithPredictorParam sets one named predictor parameter (copy-on-write:
+// the underlying map is never shared between configs).
+func WithPredictorParam(name string, v int) Option {
+	return func(c *Config) {
+		c.Predictor = c.Predictor.WithParam(name, v)
 	}
 }
 

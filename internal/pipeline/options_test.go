@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestNewConfigDefaultsAreValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg != DefaultConfig() {
+	if !reflect.DeepEqual(cfg, DefaultConfig()) {
 		t.Error("NewConfig() without options must equal DefaultConfig()")
 	}
 }
@@ -31,7 +32,7 @@ func TestNewConfigOptionsCompose(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cfg.Mode != Monopath || cfg.WindowSize != 128 || cfg.FrontEndStages != 7 ||
-		cfg.NumMemPorts != 2 || cfg.Predictor.HistBits != 9 || cfg.Confidence.IndexBits != 9 ||
+		cfg.NumMemPorts != 2 || cfg.Predictor.Param("hist_bits", 0) != 9 || cfg.Confidence.IndexBits != 9 ||
 		cfg.MaxDivergences != 1 || cfg.MaxInsts != 5000 {
 		t.Errorf("options not applied: %+v", cfg)
 	}
@@ -85,13 +86,15 @@ func TestValidateRejectsConstructorPanicRanges(t *testing.T) {
 		field string
 		opt   Option
 	}{
-		{"Predictor.HistBits", func(c *Config) { c.Predictor.HistBits = 40 }},
-		{"Predictor.HistBits", func(c *Config) { c.Predictor.HistBits = -1 }},
-		{"Predictor.Kind", func(c *Config) { c.Predictor.Kind = PredictorKind(99) }},
+		{"Predictor.hist_bits", func(c *Config) { c.Predictor = c.Predictor.WithParam("hist_bits", 40) }},
+		{"Predictor.hist_bits", func(c *Config) { c.Predictor = c.Predictor.WithParam("hist_bits", -1) }},
+		{"Predictor.table_bits", func(c *Config) { c.Predictor = c.Predictor.WithParam("table_bits", 12) }},
+		{"Predictor.Kind", func(c *Config) { c.Predictor.Kind = "nonesuch" }},
 		{"Confidence.IndexBits", func(c *Config) { c.Confidence.IndexBits = 30 }},
 		{"Confidence.CtrBits", func(c *Config) { c.Confidence.CtrBits = 9 }},
 		{"Confidence.Threshold", func(c *Config) { c.Confidence.CtrBits = 2; c.Confidence.Threshold = 4 }},
-		{"Confidence.Kind", func(c *Config) { c.Confidence.Kind = ConfidenceKind(99) }},
+		{"Confidence.Kind", func(c *Config) { c.Confidence.Kind = "nonesuch" }},
+		{"Confidence.Params", func(c *Config) { c.Confidence.Params = map[string]int{"mystery": 1} }},
 		{"Confidence.AdaptiveMinPVN", func(c *Config) { c.Confidence.Kind = ConfAdaptive; c.Confidence.AdaptiveMinPVN = 1.5 }},
 		{"Confidence.AdaptiveWindow", func(c *Config) { c.Confidence.Kind = ConfAdaptive; c.Confidence.AdaptiveWindow = 3 }},
 		{"Mode", func(c *Config) { c.Mode = Mode(7) }},
@@ -108,11 +111,18 @@ func TestValidateRejectsConstructorPanicRanges(t *testing.T) {
 
 func TestValidateDoesNotMutate(t *testing.T) {
 	cfg := DefaultConfig()
-	before := cfg
+	before, err := EncodeConfigV2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if cfg != before {
+	after, err := EncodeConfigV2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
 		t.Error("Validate mutated the config")
 	}
 }
@@ -133,7 +143,7 @@ func TestNormalizedFillsDerivedDefaults(t *testing.T) {
 func TestMachineNewNeverPanicsOnInvalidConfig(t *testing.T) {
 	prog := diamondProgram(100, 0.5)
 	mutations := []Option{
-		func(c *Config) { c.Predictor.HistBits = 64 },
+		func(c *Config) { c.Predictor = c.Predictor.WithParam("hist_bits", 64) },
 		func(c *Config) { c.Confidence.CtrBits = -3 },
 		func(c *Config) { c.Confidence.Kind = ConfAdaptive; c.Confidence.AdaptiveMinPVN = -0.1 },
 		func(c *Config) { c.CtxHistoryWidth = 40 },

@@ -172,7 +172,10 @@ func (r JobRequest) resolve(maxInsts uint64) ([]harness.NamedConfig, error) {
 			}
 			configs = append(configs, harness.NamedConfig{Name: e.Name, Cfg: cfg})
 		case len(e.Config) > 0:
-			cfg, err := pipeline.DecodeConfigV1(e.Config)
+			// Schema-sniffing decode: accepts both frozen polypath/v1
+			// documents (hash-compatible with existing memoized results)
+			// and open polypath/v2 documents.
+			cfg, err := pipeline.DecodeConfig(e.Config)
 			if err != nil {
 				return nil, fmt.Errorf("configs[%d] (%s): %w", i, e.Name, err)
 			}
