@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport bench-diff bench-scaling experiments serve-smoke chaos-smoke trace-smoke fuzz-smoke cover-sched clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport bench-diff bench-scaling experiments serve-smoke chaos-smoke trace-smoke soak-smoke fuzz-smoke cover-sched clean
 
 all: build
 
@@ -88,6 +88,14 @@ serve-smoke:
 # Set TRACE_OUT=<dir> to keep the exported traces (CI uploads them).
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# soak-smoke is the distributed-mode gate: 1 coordinator + 3 race-built
+# workers run a 32-cell sweep while workers and then the coordinator are
+# SIGKILLed and restarted mid-sweep; the result must stay byte-identical
+# to a single-node run with zero lost or duplicated cells (store
+# cell-count + hash audit). Set SOAK_LOGS=<dir> to keep process logs.
+soak-smoke:
+	./scripts/soak_smoke.sh
 
 # chaos-smoke is the robustness gate: injected micro-architectural faults
 # must surface as typed machine checks, audit-off output must match the

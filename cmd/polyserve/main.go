@@ -18,6 +18,17 @@
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight jobs finish,
 // still-queued jobs are journaled to -journal and resumed on restart.
+//
+// The same binary also runs distributed (see README.md "Distributed
+// operation"): a coordinator accepts the identical /v1 API and shards
+// sweep cells across registered workers,
+//
+//	polyserve -role coordinator -addr :8080 -store /tmp/store
+//	polyserve -role worker -node w1 -addr :8081 -coordinator http://localhost:8080 -store /tmp/store
+//
+// with lease-based membership, consistent-hash cell ownership, retries,
+// hedging, and a write-ahead journal so in-flight sweeps survive a
+// coordinator restart.
 package main
 
 import (
@@ -30,13 +41,28 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/server"
 )
+
+// advertiseAddr derives the URL workers hand to the coordinator when
+// -advertise is not set: a bare ":8081" listen address advertises as
+// loopback (the local-fleet case); anything with a host passes through.
+func advertiseAddr(advertise, listen string) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(listen, ":") {
+		return "http://127.0.0.1" + listen
+	}
+	return "http://" + listen
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,11 +78,23 @@ func main() {
 	chaosPanic := flag.String("chaos-panic", "", "chaos testing only: panic the worker on jobs whose title contains this string")
 	traceLimit := flag.Int("trace-limit", 1<<18, "total trace events retained per traced job (jobs submitted with \"trace\": true)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (metrics are also on the main address)")
-	version := flag.Bool("version", false, "print the build version and exit")
+	role := flag.String("role", server.RoleStandalone, "fleet role: standalone, coordinator, or worker")
+	node := flag.String("node", "", "stable node ID in fleet APIs and logs (default: the role)")
+	coordinator := flag.String("coordinator", "", "coordinator base URL this worker attaches to (worker role)")
+	advertise := flag.String("advertise", "", "base URL this worker advertises to the coordinator (default: derived from -addr)")
+	store := flag.String("store", "", "content-addressed result store directory shared across the fleet (empty = none)")
+	lease := flag.Duration("lease", 3*time.Second, "worker lease TTL; a worker missing heartbeats this long is evicted")
+	heartbeat := flag.Duration("heartbeat", 0, "worker heartbeat period (0 = a third of the granted lease)")
+	cellTimeout := flag.Duration("cell-timeout", 2*time.Minute, "coordinator deadline for one cell including retries")
+	cellRetries := flag.Int("cell-retries", 8, "re-dispatches per cell beyond the first attempt")
+	hedge := flag.Duration("hedge", 0, "launch a hedged duplicate attempt after a cell runs this long (0 = only on worker eviction)")
+	retryBudget := flag.Int("retry-budget", 256, "coordinator-wide re-dispatch token bucket burst (refills at 64/s)")
+	perTenant := flag.Int("tenant-queue", 0, "per-tenant share of the job queue (0 = no per-tenant cap)")
+	version := flag.Bool("version", false, "print the build version and role, then exit")
 	flag.Parse()
 
 	if *version {
-		fmt.Println("polyserve", obs.Version())
+		fmt.Printf("polyserve %s (role %s)\n", obs.Version(), *role)
 		return
 	}
 
@@ -69,7 +107,11 @@ func main() {
 	if *chaosPanic != "" {
 		logger.Printf("polyserve: CHAOS MODE: worker panics on job titles containing %q", *chaosPanic)
 	}
-	srv, err := server.New(server.Config{
+	if *role == server.RoleWorker && *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "polyserve: -role worker requires -coordinator")
+		os.Exit(2)
+	}
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueCapacity:  *queue,
 		CacheCells:     *cacheCells,
@@ -82,10 +124,49 @@ func main() {
 		CrashThreshold: *crashThreshold,
 		ChaosPanic:     *chaosPanic,
 		Log:            logger,
-	})
+
+		Role:           *role,
+		NodeID:         *node,
+		StoreDir:       *store,
+		LeaseTTL:       *lease,
+		CellTimeout:    *cellTimeout,
+		CellRetries:    *cellRetries,
+		HedgeDelay:     *hedge,
+		RetryBudget:    *retryBudget,
+		PerTenantQueue: *perTenant,
+	}
+	if *role == server.RoleCoordinator {
+		cfg.DialWorker = client.DialWorker
+		// The coordinator journals write-ahead: accepted jobs survive even
+		// an abrupt kill, not just a graceful drain.
+		cfg.JournalWAL = *journal != ""
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polyserve:", err)
 		os.Exit(1)
+	}
+
+	// Worker role: keep this node registered with its coordinator. The
+	// loop re-registers after coordinator restarts and partitions;
+	// /v1/healthz reports the current attachment state.
+	attachCtx, attachCancel := context.WithCancel(context.Background())
+	defer attachCancel()
+	if *role == server.RoleWorker {
+		coord := client.New(*coordinator)
+		coord.MaxAttempts = 2
+		att := &client.Attachment{
+			Coordinator: coord,
+			ID:          cfg.NodeID,
+			Addr:        advertiseAddr(*advertise, *addr),
+			Interval:    *heartbeat,
+			OnState:     srv.SetAttachment,
+			Logf:        logger.Printf,
+		}
+		if att.ID == "" {
+			att.ID = *role
+		}
+		go att.Run(attachCtx)
 	}
 
 	if *debugAddr != "" {
@@ -110,7 +191,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	logger.Printf("polyserve: listening on %s (workers=%d queue=%d cache=%d, version %s)", *addr, *workers, *queue, *cacheCells, obs.Version())
+	logger.Printf("polyserve: %s listening on %s (workers=%d queue=%d cache=%d, version %s)", *role, *addr, *workers, *queue, *cacheCells, obs.Version())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -36,6 +36,13 @@ type Client struct {
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep (default 5s).
 	MaxDelay time.Duration
+	// AttemptTimeout, when > 0, deadlines every individual attempt
+	// (connection + headers + body read). An attempt that exceeds it —
+	// including a server that sends headers and then hangs mid-body — is
+	// treated like any other transport failure and retried, while the
+	// caller's context keeps governing the call as a whole. 0 means
+	// attempts are bounded only by the caller's context.
+	AttemptTimeout time.Duration
 
 	// Sleep and Jitter are injection points for tests: Sleep pauses between
 	// attempts (default time.Sleep honoring ctx) and Jitter returns a
@@ -208,8 +215,16 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, want 
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		// Per-attempt deadline: a worker that accepts the connection and
+		// then wedges (before or during the response body) costs one
+		// attempt, not the whole call budget.
+		attemptCtx, attemptCancel := ctx, context.CancelFunc(func() {})
+		if c.AttemptTimeout > 0 {
+			attemptCtx, attemptCancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		}
+		req, err := http.NewRequestWithContext(attemptCtx, method, c.BaseURL+path, rd)
 		if err != nil {
+			attemptCancel()
 			return err
 		}
 		if body != nil {
@@ -217,15 +232,24 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, want 
 		}
 		resp, err := httpc.Do(req)
 		if err != nil {
+			attemptCancel()
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			lastErr = err // connection-level failure: retry
+			lastErr = err // connection-level failure (incl. attempt timeout): retry
 			continue
 		}
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 		resp.Body.Close()
+		attemptCancel()
 		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// A failed body read — connection reset, or the attempt
+			// deadline expiring mid-body (context.DeadlineExceeded) — is a
+			// transport error like any other: the response is unusable and
+			// the request is safe to retry.
 			lastErr = err
 			continue
 		}

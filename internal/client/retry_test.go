@@ -60,6 +60,37 @@ func TestAPIErrorImmediateFailureIsOneAttempt(t *testing.T) {
 	}
 }
 
+// TestRetriesMidBodyHang: a server that sends headers and then wedges
+// mid-body is indistinguishable from a dead worker; the per-attempt
+// deadline must cut the body read loose (context.DeadlineExceeded
+// surfacing from resp.Body) and the call must retry and succeed, all
+// within the caller's larger context.
+func TestRetriesMidBodyHang(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Headers and half a JSON body, then hang until the client
+			// abandons the attempt.
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"jobs_sub`))
+			w.(http.Flusher).Flush()
+			<-r.Context().Done()
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	c.AttemptTimeout = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Stats(ctx); err != nil {
+		t.Fatalf("Stats should survive a mid-body hang via retry, got %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (hang, then retry)", got)
+	}
+}
+
 // TestLogfReceivesRetryDetail: the debug hook sees one line per retry
 // with the attempt counter, the backoff, and the Retry-After hint.
 func TestLogfReceivesRetryDetail(t *testing.T) {

@@ -70,6 +70,29 @@ func CellID(benchmark, config string, replicate int) string {
 	return fmt.Sprintf("%s/%s/r%d", benchmark, config, replicate)
 }
 
+// CellKey is the content address of one simulation outcome: the workload
+// identity (name, seed, dynamic length) plus the canonical hash of the
+// normalized configuration. Two cells with equal keys are guaranteed
+// bit-identical results (simulations are deterministic), so the key is
+// safe to use for memoization, fleet-wide result stores, and idempotent
+// re-execution after a crash.
+func CellKey(spec workload.Spec, cfgHash string) string {
+	return fmt.Sprintf("w=%s:%d:%d|c=%s", spec.Name, spec.Seed, spec.TargetInsts, cfgHash)
+}
+
+// CellSpec is the full identity of one cell handed to Options.Exec: enough
+// for a remote node to regenerate the workload program deterministically
+// and run the simulation, and for the caller to address the result.
+type CellSpec struct {
+	Benchmark string
+	// Spec is the resolved workload spec, replicate seeding applied.
+	Spec      workload.Spec
+	Replicate int
+	Config    core.Config
+	// ConfigHash is the canonical polypath hash of Config.
+	ConfigHash string
+}
+
 // Options configure an experiment run.
 type Options struct {
 	// TargetInsts is the dynamic instruction count per benchmark run
@@ -114,6 +137,16 @@ type Options struct {
 	// (task started/done per shard) for every simulation cell. polyserve
 	// wires this to its sweep shard metrics.
 	Observer sched.Observer
+	// Exec, when non-nil, replaces in-process simulation of every
+	// non-memoized cell: instead of generating the workload program and
+	// running the pipeline locally, the cell's full identity is handed to
+	// Exec, which must return the bit-identical MemoValue a local run
+	// would produce. polyserve's coordinator wires this to remote worker
+	// dispatch; simulations are deterministic, so any idempotent executor
+	// keyed on CellKey preserves the harness's byte-identical-output
+	// contract. Exec may be called concurrently. Tracing (OnTrace) is not
+	// supported under Exec — remote cells produce no trace events.
+	Exec func(ctx context.Context, cell CellSpec) (MemoValue, error)
 }
 
 func (o Options) context() context.Context {
@@ -154,10 +187,21 @@ func (o Options) suite() ([]workload.Benchmark, [][]*isa.Program, error) {
 			bms = append(bms, bm)
 		}
 	}
+	reps := o.replicates()
+	if o.Exec != nil {
+		// Remote execution: workers regenerate programs from the workload
+		// spec themselves, so generating them here would be pure waste.
+		// The progs matrix stays nil-valued; the local simulation path is
+		// never taken when Exec is set.
+		progs := make([][]*isa.Program, len(bms))
+		for i := range progs {
+			progs[i] = make([]*isa.Program, reps)
+		}
+		return bms, progs, nil
+	}
 	// Generation is sharded through the same deterministic engine as the
 	// cells: each (benchmark, replicate) is one task with a stable ID, and
 	// the positional merge fills progs identically under any worker count.
-	reps := o.replicates()
 	type genJob struct{ bench, rep int }
 	jobs := make([]genJob, 0, len(bms)*reps)
 	for i := range bms {
@@ -261,13 +305,6 @@ func (m *Matrix) HarmonicMean(config string) float64 {
 	return stats.HarmonicMeanIPC(vals)
 }
 
-// memoKey is the memoization identity of one cell: the workload identity
-// (benchmark name, seed, dynamic length) plus the canonical hash of the
-// normalized configuration (which covers the MaxInsts cap).
-func memoKey(spec workload.Spec, cfgHash string) string {
-	return fmt.Sprintf("w=%s:%d:%d|c=%s", spec.Name, spec.Seed, spec.TargetInsts, cfgHash)
-}
-
 // runMatrix simulates every benchmark under every configuration through
 // the internal/sched engine, reusing one generated program per
 // (benchmark, replicate). With Options.Memo set, previously-simulated
@@ -295,8 +332,9 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 		mat.Configs = append(mat.Configs, nc.Name)
 	}
 	// One canonical hash per configuration, shared by all its cells.
+	// Needed by the memo key and by remote dispatch (Exec) alike.
 	cfgHash := make([]string, len(configs))
-	if opts.Memo != nil {
+	if opts.Memo != nil || opts.Exec != nil {
 		for i, nc := range configs {
 			h, err := pipeline.CanonicalHash(nc.Cfg)
 			if err != nil {
@@ -353,24 +391,38 @@ func runMatrix(opts Options, configs []NamedConfig) (*Matrix, error) {
 				)
 				start := time.Now()
 				if opts.Memo != nil {
-					key = memoKey(j.spec, j.hash)
+					key = CellKey(j.spec, j.hash)
 					out.val, out.fromCache = opts.Memo.Get(key)
 				}
 				if !out.fromCache {
-					cfg := j.nc.Cfg
-					if opts.Audit != pipeline.AuditOff {
-						cfg.Audit = opts.Audit
+					if opts.Exec != nil {
+						v, err := opts.Exec(tc.Context, CellSpec{
+							Benchmark:  j.bench,
+							Spec:       j.spec,
+							Replicate:  j.rep,
+							Config:     j.nc.Cfg,
+							ConfigHash: j.hash,
+						})
+						if err != nil {
+							return out, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err)
+						}
+						out.val = v
+					} else {
+						cfg := j.nc.Cfg
+						if opts.Audit != pipeline.AuditOff {
+							cfg.Audit = opts.Audit
+						}
+						var tr pipeline.Tracer
+						if opts.TraceLimit > 0 && opts.OnTrace != nil {
+							ring = obs.NewRing(opts.TraceLimit)
+							tr = ring
+						}
+						res, err := core.RunCell(tc.Context, j.prog, cfg, tr, arenas[tc.Shard])
+						if err != nil {
+							return out, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err)
+						}
+						out.val = MemoValue{IPC: res.IPC, Stats: res.Stats}
 					}
-					var tr pipeline.Tracer
-					if opts.TraceLimit > 0 && opts.OnTrace != nil {
-						ring = obs.NewRing(opts.TraceLimit)
-						tr = ring
-					}
-					res, err := core.RunCell(tc.Context, j.prog, cfg, tr, arenas[tc.Shard])
-					if err != nil {
-						return out, fmt.Errorf("%s/%s: %w", j.bench, j.nc.Name, err)
-					}
-					out.val = MemoValue{IPC: res.IPC, Stats: res.Stats}
 					if opts.Memo != nil {
 						opts.Memo.Put(key, out.val)
 					}

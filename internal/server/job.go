@@ -89,7 +89,10 @@ type Job struct {
 	Started   *time.Time `json:"started_at,omitempty"`
 	Finished  *time.Time `json:"finished_at,omitempty"`
 	Error     string     `json:"error,omitempty"`
-	Result    *JobResult `json:"-"` // served by /v1/results/{id}
+	// Tenant is the fair-queuing bucket the job was admitted under (the
+	// X-Tenant request header; empty = default tenant).
+	Tenant string     `json:"tenant,omitempty"`
+	Result *JobResult `json:"-"` // served by /v1/results/{id}
 
 	// configs is the resolved custom sweep (nil for experiment jobs).
 	configs []harness.NamedConfig
@@ -101,6 +104,9 @@ type Job struct {
 	// sweep is the sweep record this job executes (nil for plain jobs;
 	// see sweep.go). Journal-resumed jobs lose it by design.
 	sweep *sweepRec
+	// seq is the scheduler's arrival stamp (drain ordering across
+	// tenants).
+	seq uint64
 }
 
 // title returns the rendered-table title of a custom sweep.

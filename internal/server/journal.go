@@ -31,6 +31,23 @@ import (
 //
 // Journals written before the checksum existed (lines starting with '{')
 // are still accepted, without integrity protection.
+//
+// Two journal modes share this format:
+//
+//   - Drain journal (the original): records are written only on graceful
+//     Drain, one per still-queued job, and the whole file is consumed and
+//     removed at startup. A SIGKILL loses the queue.
+//   - Write-ahead journal (Config.JournalWAL, the coordinator's mode):
+//     an "accept" record is appended the moment a job is admitted and a
+//     "done" record when it reaches a terminal state. Pending work is
+//     the set of accepts without a matching done, so an in-flight sweep
+//     survives even an abrupt coordinator kill — cells already completed
+//     are replayed from the result store, the rest re-execute
+//     idempotently. At startup the file is compacted back to the pending
+//     accepts and reopened for appending.
+//
+// Records without an "op" field (drain journals, pre-WAL files) read as
+// accepts, so the two modes interoperate across restarts and upgrades.
 
 // journalEntry is the JSON payload of one record: enough to re-enqueue a
 // still-queued job under its original ID after a restart.
@@ -38,6 +55,11 @@ type journalEntry struct {
 	ID        string     `json:"id"`
 	Request   JobRequest `json:"request"`
 	Submitted time.Time  `json:"submitted_at"`
+	// Op is the WAL record type: "accept", "done", or "" (legacy drain
+	// record, treated as accept).
+	Op string `json:"op,omitempty"`
+	// Tenant preserves the fair-queuing bucket across restarts.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // appendJournalRecord formats one checksummed record.
@@ -103,23 +125,14 @@ func parseJournalLine(line []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// loadJournal re-enqueues jobs journaled by a previous Drain and removes
-// the journal so it is not replayed twice. Damaged content never fails
-// startup: records that are torn, corrupt, unparseable, no longer valid
-// under the current server caps, or unsubmittable are dropped with a log
-// line and counted in journal_dropped; each resumed job counts in
-// journal_resumed.
+// loadJournal re-enqueues pending jobs from a previous incarnation's
+// journal. In drain mode the file is consumed and removed; in WAL mode
+// it is compacted to the pending accepts and reopened for appending.
+// Damaged content never fails startup: records that are torn, corrupt,
+// unparseable, no longer valid under the current server caps, or
+// unsubmittable are dropped with a log line and counted in
+// journal_dropped; each resumed job counts in journal_resumed.
 func (s *Server) loadJournal(path string) (int, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-
-	n := 0
 	drop := func(line int, id string, why error) {
 		s.svc.JournalDropped.Add(1)
 		if id != "" {
@@ -127,25 +140,67 @@ func (s *Server) loadJournal(path string) (int, error) {
 		}
 		s.cfg.Log.Printf("polyserve: journal line %d%s dropped: %v", line, id, why)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for line := 1; sc.Scan(); line++ {
-		if strings.TrimSpace(sc.Text()) == "" {
+
+	// Pass 1: scan every intact record, resolving accepts against dones.
+	// Pending = accepted but never finished, in acceptance order.
+	type pendingRec struct {
+		entry journalEntry
+		line  int
+	}
+	var pending []pendingRec
+	index := make(map[string]int) // job ID -> pending slot (-1 = done)
+	f, err := os.Open(path)
+	if err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for line := 1; sc.Scan(); line++ {
+			if strings.TrimSpace(sc.Text()) == "" {
+				continue
+			}
+			payload, err := parseJournalLine(sc.Bytes())
+			if err != nil {
+				drop(line, "", err)
+				continue
+			}
+			var e journalEntry
+			if err := json.Unmarshal(payload, &e); err != nil {
+				drop(line, "", err)
+				continue
+			}
+			switch e.Op {
+			case "", "accept":
+				if _, dup := index[e.ID]; !dup || index[e.ID] == -1 {
+					index[e.ID] = len(pending)
+					pending = append(pending, pendingRec{entry: e, line: line})
+				}
+			case "done":
+				if slot, ok := index[e.ID]; ok && slot >= 0 {
+					pending[slot].entry.ID = "" // tombstone
+					index[e.ID] = -1
+				}
+			default:
+				drop(line, e.ID, fmt.Errorf("unknown journal op %q", e.Op))
+			}
+		}
+		scanErr := sc.Err()
+		f.Close()
+		if scanErr != nil {
+			return 0, scanErr
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+
+	// Pass 2: re-enqueue the pending jobs.
+	n := 0
+	for _, p := range pending {
+		if p.entry.ID == "" {
 			continue
 		}
-		payload, err := parseJournalLine(sc.Bytes())
-		if err != nil {
-			drop(line, "", err)
-			continue
-		}
-		var e journalEntry
-		if err := json.Unmarshal(payload, &e); err != nil {
-			drop(line, "", err)
-			continue
-		}
+		e := p.entry
 		configs, err := e.Request.resolve(s.cfg.MaxInsts)
 		if err != nil {
-			drop(line, e.ID, err)
+			drop(p.line, e.ID, err)
 			continue
 		}
 		j := &Job{
@@ -153,6 +208,7 @@ func (s *Server) loadJournal(path string) (int, error) {
 			State:     JobQueued,
 			Request:   e.Request,
 			Submitted: e.Submitted,
+			Tenant:    e.Tenant,
 			configs:   configs,
 		}
 		s.mu.Lock()
@@ -168,15 +224,82 @@ func (s *Server) loadJournal(path string) (int, error) {
 			s.mu.Lock()
 			delete(s.jobs, j.ID)
 			s.mu.Unlock()
-			drop(line, e.ID, err)
+			drop(p.line, e.ID, err)
 			continue
 		}
 		s.svc.JobsSubmitted.Add(1)
 		s.svc.JournalResumed.Add(1)
 		n++
 	}
-	if err := sc.Err(); err != nil {
-		return n, err
+
+	if !s.cfg.JournalWAL {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return n, err
+		}
+		return n, nil
 	}
-	return n, os.Remove(path)
+	return n, s.walOpen(path)
+}
+
+// walOpen compacts the journal down to the currently-pending jobs (one
+// accept record each) and opens it for appending. The compaction is the
+// same atomic temp+rename as writeJournal, so a crash mid-compaction
+// leaves the previous journal intact.
+func (s *Server) walOpen(path string) error {
+	s.mu.Lock()
+	var jobs []*Job
+	for _, j := range s.jobs {
+		if j.State == JobQueued {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	// Stable order: by ID (IDs are zero-padded sequence numbers).
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k].ID < jobs[k-1].ID; k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+	if err := writeJournal(path, jobs); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.walMu.Lock()
+	s.walF = f
+	s.walMu.Unlock()
+	return nil
+}
+
+// walAppend appends one WAL record ("accept" on admission, "done" on any
+// terminal state). A write failure degrades durability, not
+// availability: it is logged and the job proceeds.
+func (s *Server) walAppend(op string, j *Job) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.walF == nil {
+		return
+	}
+	payload, err := json.Marshal(journalEntry{
+		ID: j.ID, Request: j.Request, Submitted: j.Submitted, Op: op, Tenant: j.Tenant,
+	})
+	if err != nil {
+		s.cfg.Log.Printf("polyserve: wal %s %s: %v", op, j.ID, err)
+		return
+	}
+	if _, err := s.walF.Write(appendJournalRecord(nil, payload)); err != nil {
+		s.cfg.Log.Printf("polyserve: wal %s %s: %v", op, j.ID, err)
+	}
+}
+
+// walClose closes the WAL file (after Drain).
+func (s *Server) walClose() {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.walF != nil {
+		s.walF.Close()
+		s.walF = nil
+	}
 }

@@ -59,6 +59,17 @@ func (s *Server) initMetrics() {
 		return float64(s.sweepInflight.Load())
 	})
 	s.shardDur = make(map[int]*metrics.Histogram)
+	s.workerDur = make(map[string]*metrics.Histogram)
+	if s.registry != nil {
+		reg.GaugeFunc("polyserve_workers_live", "", "Fleet workers with a live lease.", func() float64 {
+			return float64(s.registry.liveCount())
+		})
+	}
+	if s.store != nil {
+		reg.GaugeFunc("polyserve_store_entries", "", "Results resident in the content-addressed store.", func() float64 {
+			return float64(s.store.Len())
+		})
+	}
 	version := strings.ReplaceAll(obs.Version(), `"`, "'")
 	reg.GaugeFunc("polyserve_build_info", `version="`+version+`"`, "Build identity (constant 1).", func() float64 { return 1 })
 }
@@ -92,6 +103,42 @@ func (s *Server) shardHist(shard int) *metrics.Histogram {
 		s.shardDur[shard] = h
 	}
 	return h
+}
+
+// maxWorkerSeries caps the per-worker histogram label cardinality;
+// workers beyond it share one overflow series.
+const maxWorkerSeries = 32
+
+// workerHist returns the remote-cell duration histogram of one fleet
+// worker, registering the labeled series on first use (same shape as
+// shardHist).
+func (s *Server) workerHist(node string) *metrics.Histogram {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	h := s.workerDur[node]
+	if h == nil && len(s.workerDur) >= maxWorkerSeries {
+		if s.workerOverflow == nil {
+			s.workerOverflow = s.reg.Histogram("polyserve_worker_cell_seconds",
+				`node="overflow"`, "", metrics.LatencyBuckets())
+		}
+		return s.workerOverflow
+	}
+	if h == nil {
+		help := ""
+		if len(s.workerDur) == 0 {
+			help = "Remote cell round-trip time by fleet worker (failures included)."
+		}
+		h = s.reg.Histogram("polyserve_worker_cell_seconds",
+			`node="`+strings.ReplaceAll(node, `"`, "'")+`"`, help, metrics.LatencyBuckets())
+		s.workerDur[node] = h
+	}
+	return h
+}
+
+// observeWorkerCell records one remote cell round trip (dispatch.go calls
+// it for successes and failures alike; a timeout observes the deadline).
+func (s *Server) observeWorkerCell(node string, d time.Duration, err error) {
+	s.workerHist(node).Observe(d.Seconds())
 }
 
 // sweepObserver adapts the scheduler's lifecycle callbacks onto the

@@ -32,6 +32,12 @@ type QuarantineEntry struct {
 	LastError string `json:"last_error"`
 	// LastCrash is when the most recent crash was recorded.
 	LastCrash time.Time `json:"last_crash"`
+	// Node is the worker node that observed the most recent crash, and
+	// Nodes every node that ever crashed on this signature — the fleet
+	// operator's "bad config" (many nodes) vs "bad node" (one node)
+	// triage signal. Empty on pre-fleet records.
+	Node  string   `json:"node,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
 }
 
 // quarantine tracks crash counts per request signature.
@@ -58,10 +64,12 @@ func crashSignature(req JobRequest) string {
 	return hex.EncodeToString(sum[:8])
 }
 
-// recordCrash counts one contained crash for the request and reports
-// whether this crash tipped it into quarantine. All methods tolerate a nil
-// receiver (a Server built without New has no quarantine).
-func (q *quarantine) recordCrash(req JobRequest, describe, errText string, now time.Time) (sig string, quarantinedNow bool) {
+// recordCrash counts one contained crash for the request, attributed to
+// the worker node that observed it (the local node for in-process
+// execution, the remote worker's ID for fleet dispatch), and reports
+// whether this crash tipped it into quarantine. All methods tolerate a
+// nil receiver (a Server built without New has no quarantine).
+func (q *quarantine) recordCrash(req JobRequest, describe, errText, node string, now time.Time) (sig string, quarantinedNow bool) {
 	sig = crashSignature(req)
 	if q == nil {
 		return sig, false
@@ -76,6 +84,19 @@ func (q *quarantine) recordCrash(req JobRequest, describe, errText string, now t
 	e.Crashes++
 	e.LastError = errText
 	e.LastCrash = now
+	if node != "" {
+		e.Node = node
+		seen := false
+		for _, n := range e.Nodes {
+			if n == node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			e.Nodes = append(e.Nodes, node)
+		}
+	}
 	if !e.Quarantined && e.Crashes >= q.threshold {
 		e.Quarantined = true
 		return sig, true

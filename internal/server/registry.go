@@ -1,0 +1,262 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// registry.go tracks the coordinator's worker fleet: lease-based
+// registration with heartbeats, a reaper that evicts workers whose lease
+// expired, and a consistent-hash ring over the live members so cell
+// ownership is stable under churn. Hashing on the cell's content address
+// (harness.CellKey, which embeds the canonical config hash) keeps each
+// worker's memoization cache hot: the same cell lands on the same worker
+// across sweeps as long as the membership holds, and moves to exactly one
+// other worker when its owner dies.
+
+// ringVnodes is how many virtual points each worker contributes to the
+// hash ring; enough to spread load within a few percent on small fleets.
+const ringVnodes = 64
+
+// WorkerStatus is one fleet member as reported by GET /v1/workers.
+type WorkerStatus struct {
+	ID            string    `json:"id"`
+	Addr          string    `json:"addr"`
+	Live          bool      `json:"live"`
+	Registered    time.Time `json:"registered_at"`
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+	CellsOK       uint64    `json:"cells_ok"`
+	CellsFailed   uint64    `json:"cells_failed"`
+}
+
+// workerEntry is the registry's record of one worker. Identity fields are
+// immutable after registration; liveness fields are guarded by the
+// registry mutex; counters are atomics updated by dispatch goroutines.
+type workerEntry struct {
+	id     string
+	addr   string
+	caller WorkerCaller
+
+	registered time.Time
+	lastBeat   time.Time // guarded by registry.mu
+	live       bool      // guarded by registry.mu
+
+	cellsOK     atomic.Uint64
+	cellsFailed atomic.Uint64
+}
+
+type ringPoint struct {
+	h uint64
+	w *workerEntry
+}
+
+// registry is the coordinator's fleet membership table plus the
+// consistent-hash ring rebuilt on every membership change.
+type registry struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	dial    func(addr string) WorkerCaller
+	workers map[string]*workerEntry
+	ring    []ringPoint // live workers only, sorted by point hash
+	nLive   int
+
+	onEvict func(id string) // eviction hook (metrics + log), called without mu
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+func newRegistry(ttl time.Duration, dial func(addr string) WorkerCaller, onEvict func(id string)) *registry {
+	r := &registry{
+		ttl:     ttl,
+		dial:    dial,
+		workers: make(map[string]*workerEntry),
+		onEvict: onEvict,
+		stopCh:  make(chan struct{}),
+	}
+	go r.reaper()
+	return r
+}
+
+// close stops the reaper goroutine.
+func (r *registry) close() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+}
+
+// register adds a worker (or revives/re-homes a known one after a restart)
+// and returns the lease TTL the worker must heartbeat within.
+func (r *registry) register(id, addr string) (time.Duration, error) {
+	if id == "" || addr == "" {
+		return 0, fmt.Errorf("worker registration needs both id and addr")
+	}
+	now := time.Now().UTC()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[id]
+	if e == nil || e.addr != addr {
+		// New worker, or a known ID returning at a different address (a
+		// restart with a fresh port): dial a fresh caller either way.
+		e = &workerEntry{id: id, addr: addr, caller: r.dial(addr), registered: now}
+		r.workers[id] = e
+	}
+	e.lastBeat = now
+	if !e.live {
+		e.live = true
+		r.rebuildLocked()
+	}
+	return r.ttl, nil
+}
+
+// beat renews a worker's lease; false means the worker is unknown (the
+// coordinator restarted, or the worker was dropped) and must re-register.
+func (r *registry) beat(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[id]
+	if e == nil {
+		return false
+	}
+	e.lastBeat = time.Now().UTC()
+	if !e.live {
+		e.live = true
+		r.rebuildLocked()
+	}
+	return true
+}
+
+// isLive reports whether the worker currently holds a valid lease.
+func (r *registry) isLive(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[id]
+	return e != nil && e.live
+}
+
+// liveCount returns the number of lease-holding workers.
+func (r *registry) liveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nLive
+}
+
+// reaper periodically expires leases. Eviction only flips liveness (and
+// removes the worker from the ring); the entry itself is kept so a
+// restarted worker reclaims its identity, counters, and ring position.
+func (r *registry) reaper() {
+	tick := r.ttl / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case now := <-t.C:
+			var evicted []string
+			r.mu.Lock()
+			for id, e := range r.workers {
+				if e.live && now.Sub(e.lastBeat) > r.ttl {
+					e.live = false
+					evicted = append(evicted, id)
+				}
+			}
+			if len(evicted) > 0 {
+				r.rebuildLocked()
+			}
+			r.mu.Unlock()
+			if r.onEvict != nil {
+				for _, id := range evicted {
+					r.onEvict(id)
+				}
+			}
+		}
+	}
+}
+
+// rebuildLocked regenerates the hash ring from the live members.
+func (r *registry) rebuildLocked() {
+	r.ring = r.ring[:0]
+	r.nLive = 0
+	for _, e := range r.workers {
+		if !e.live {
+			continue
+		}
+		r.nLive++
+		for v := 0; v < ringVnodes; v++ {
+			r.ring = append(r.ring, ringPoint{h: ringHash(fmt.Sprintf("%s#%d", e.id, v)), w: e})
+		}
+	}
+	sort.Slice(r.ring, func(i, k int) bool { return r.ring[i].h < r.ring[k].h })
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is splitmix64's avalanche finalizer. FNV alone barely diffuses
+// short, similar inputs — every vnode label "w2#<v>" of one worker lands
+// in a single arc of the ring, which collapses consistent hashing into
+// "one worker owns nearly everything". The finalizer spreads them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// owner returns the live worker owning key on the consistent-hash ring,
+// skipping workers whose ID is in skip (used to walk ring successors on
+// retry). nil when no live worker remains outside skip.
+func (r *registry) owner(key string, skip map[string]bool) *workerEntry {
+	h := ringHash(key)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.ring)
+	if n == 0 {
+		return nil
+	}
+	start := sort.Search(n, func(i int) bool { return r.ring[i].h >= h })
+	for i := 0; i < n; i++ {
+		w := r.ring[(start+i)%n].w
+		if skip == nil || !skip[w.id] {
+			return w
+		}
+	}
+	return nil
+}
+
+// snapshot returns the full membership table, live workers first, then by
+// ID, for GET /v1/workers.
+func (r *registry) snapshot() []WorkerStatus {
+	r.mu.Lock()
+	out := make([]WorkerStatus, 0, len(r.workers))
+	for _, e := range r.workers {
+		out = append(out, WorkerStatus{
+			ID:            e.id,
+			Addr:          e.addr,
+			Live:          e.live,
+			Registered:    e.registered,
+			LastHeartbeat: e.lastBeat,
+			CellsOK:       e.cellsOK.Load(),
+			CellsFailed:   e.cellsFailed.Load(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Live != out[k].Live {
+			return out[i].Live
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}

@@ -90,13 +90,13 @@ func TestQuarantineSignatures(t *testing.T) {
 	b := JobRequest{Experiment: "table1", Insts: 10000}
 	now := time.Unix(1700000000, 0)
 
-	if _, tipped := q.recordCrash(a, "a", "boom", now); tipped {
+	if _, tipped := q.recordCrash(a, "a", "boom", "node-a", now); tipped {
 		t.Fatal("first crash must not quarantine at threshold 2")
 	}
 	if _, bad := q.check(a); bad {
 		t.Fatal("one crash below threshold must not quarantine")
 	}
-	if _, tipped := q.recordCrash(a, "a", "boom", now.Add(time.Second)); !tipped {
+	if _, tipped := q.recordCrash(a, "a", "boom", "node-b", now.Add(time.Second)); !tipped {
 		t.Fatal("second crash must tip the threshold")
 	}
 	if _, bad := q.check(a); !bad {
@@ -105,7 +105,7 @@ func TestQuarantineSignatures(t *testing.T) {
 	if _, bad := q.check(b); bad {
 		t.Fatal("request b never crashed and must not be quarantined")
 	}
-	if _, tipped := q.recordCrash(a, "a", "boom", now.Add(2*time.Second)); tipped {
+	if _, tipped := q.recordCrash(a, "a", "boom", "node-b", now.Add(2*time.Second)); tipped {
 		t.Fatal("already-quarantined entries must not re-tip")
 	}
 	if got := q.list(); len(got) != 1 || got[0].Crashes != 3 {

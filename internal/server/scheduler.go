@@ -5,38 +5,75 @@ import (
 	"sync"
 )
 
-// ErrQueueFull is returned by submit when the FIFO queue is at capacity;
-// the HTTP layer translates it into 429 + Retry-After (backpressure).
+// ErrQueueFull is returned by submit when the global FIFO backlog is at
+// capacity; the HTTP layer translates it into 429 + Retry-After
+// (backpressure).
 var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrTenantQueueFull is returned when one tenant's queue share is
+// exhausted while the global queue still has room — admission control
+// keeping a hot tenant from starving everyone else. Also 429.
+var ErrTenantQueueFull = errors.New("server: tenant queue full")
 
 // ErrDraining is returned by submit once a graceful drain has begun.
 var ErrDraining = errors.New("server: draining, not accepting jobs")
 
-// scheduler runs jobs from a bounded FIFO queue on a fixed pool of worker
+// scheduler runs jobs from bounded FIFO queues on a fixed pool of worker
 // goroutines. It knows nothing about HTTP or simulation: it moves *Job
-// values from the queue to the run callback, and supports graceful drain
-// (in-flight jobs finish; still-queued jobs are handed back for
+// values from the queues to the run callback, and supports graceful
+// drain (in-flight jobs finish; still-queued jobs are handed back for
 // journaling).
+//
+// Fairness: jobs are queued per tenant (Job.Tenant; the empty string is
+// the default tenant) and dispatched round-robin across tenants with a
+// backlog, FIFO within each tenant. With a single tenant this is exactly
+// the old global FIFO. Admission is bounded twice: `capacity` caps the
+// total backlog, `perTenant` caps one tenant's share of it.
 type scheduler struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*Job
-	capacity int
-	workers  int
-	running  int
-	draining bool
-	wg       sync.WaitGroup
-	run      func(*Job)
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tenants   map[string]*tenantQueue
+	order     []string // tenant round-robin cycle, insertion order
+	next      int      // round-robin cursor into order
+	size      int      // total queued jobs across tenants
+	capacity  int
+	perTenant int
+	seq       uint64 // arrival stamp, for drain ordering
+	workers   int
+	running   int
+	draining  bool
+	wg        sync.WaitGroup
+	run       func(*Job)
+}
+
+type tenantQueue struct {
+	jobs []*Job
 }
 
 func newScheduler(workers, capacity int, run func(*Job)) *scheduler {
+	return newTenantScheduler(workers, capacity, capacity, run)
+}
+
+// newTenantScheduler builds a scheduler whose per-tenant backlog share is
+// perTenant (≤ capacity; 0 or less defaults to capacity, i.e. no
+// per-tenant bound beyond the global one).
+func newTenantScheduler(workers, capacity, perTenant int, run func(*Job)) *scheduler {
 	if workers < 1 {
 		workers = 1
 	}
 	if capacity < 1 {
 		capacity = 1
 	}
-	s := &scheduler{queue: make([]*Job, 0, capacity), capacity: capacity, workers: workers, run: run}
+	if perTenant < 1 || perTenant > capacity {
+		perTenant = capacity
+	}
+	s := &scheduler{
+		tenants:   make(map[string]*tenantQueue),
+		capacity:  capacity,
+		perTenant: perTenant,
+		workers:   workers,
+		run:       run,
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -45,19 +82,42 @@ func newScheduler(workers, capacity int, run func(*Job)) *scheduler {
 	return s
 }
 
+// popLocked removes and returns the next job by round-robin across
+// tenants with a backlog (nil when everything is empty). The cursor
+// advances past the chosen tenant so one hot tenant cannot monopolize
+// the workers while others wait.
+func (s *scheduler) popLocked() *Job {
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		name := s.order[(s.next+i)%n]
+		q := s.tenants[name]
+		if len(q.jobs) == 0 {
+			continue
+		}
+		j := q.jobs[0]
+		q.jobs = q.jobs[1:]
+		s.size--
+		s.next = (s.next + i + 1) % n
+		return j
+	}
+	return nil
+}
+
 func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.draining {
+		var j *Job
+		for {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.popLocked(); j != nil {
+				break
+			}
 			s.cond.Wait()
 		}
-		if s.draining {
-			s.mu.Unlock()
-			return
-		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
 		s.running++
 		s.mu.Unlock()
 
@@ -70,48 +130,76 @@ func (s *scheduler) worker() {
 	}
 }
 
-// submit appends a job to the FIFO queue, failing fast when the queue is
-// at capacity or the scheduler is draining.
+// submit appends a job to its tenant's FIFO queue, failing fast when the
+// global backlog or the tenant's share is at capacity, or when the
+// scheduler is draining.
 func (s *scheduler) submit(j *Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return ErrDraining
 	}
-	if len(s.queue) >= s.capacity {
+	if s.size >= s.capacity {
 		return ErrQueueFull
 	}
-	s.queue = append(s.queue, j)
+	q := s.tenants[j.Tenant]
+	if q == nil {
+		q = &tenantQueue{}
+		s.tenants[j.Tenant] = q
+		s.order = append(s.order, j.Tenant)
+	}
+	if len(q.jobs) >= s.perTenant {
+		return ErrTenantQueueFull
+	}
+	s.seq++
+	j.seq = s.seq
+	q.jobs = append(q.jobs, j)
+	s.size++
 	s.cond.Signal()
 	return nil
 }
 
-// remove pulls a specific queued job out of the FIFO (for cancellation).
-// It returns false if the job is not in the queue (already running, done,
-// or never submitted).
+// remove pulls a specific queued job out of its queue (for cancellation).
+// It returns false if the job is not queued (already running, done, or
+// never submitted).
 func (s *scheduler) remove(j *Job) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, q := range s.queue {
-		if q == j {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	q := s.tenants[j.Tenant]
+	if q == nil {
+		return false
+	}
+	for i, queued := range q.jobs {
+		if queued == j {
+			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+			s.size--
 			return true
 		}
 	}
 	return false
 }
 
-// depth reports the current queue length and the number of running jobs.
+// depth reports the total queued jobs and the number of running jobs.
 func (s *scheduler) depth() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue), s.running
+	return s.size, s.running
+}
+
+// tenantDepth reports one tenant's backlog.
+func (s *scheduler) tenantDepth(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.tenants[tenant]; q != nil {
+		return len(q.jobs)
+	}
+	return 0
 }
 
 // drain stops accepting work, lets in-flight jobs finish, shuts the
-// workers down, and returns the jobs still queued (in FIFO order) so the
-// caller can journal them. Safe to call once; later submits fail with
-// ErrDraining.
+// workers down, and returns the jobs still queued — in arrival order
+// across all tenants — so the caller can journal them. Safe to call
+// once; later submits fail with ErrDraining.
 func (s *scheduler) drain() []*Job {
 	s.mu.Lock()
 	s.draining = true
@@ -119,9 +207,20 @@ func (s *scheduler) drain() []*Job {
 	for s.running > 0 {
 		s.cond.Wait()
 	}
-	left := s.queue
-	s.queue = nil
+	var left []*Job
+	for _, name := range s.order {
+		left = append(left, s.tenants[name].jobs...)
+		s.tenants[name].jobs = nil
+	}
+	s.size = 0
 	s.mu.Unlock()
 	s.wg.Wait()
+	// Arrival order, not tenant order: the journal replays submissions in
+	// the sequence clients made them.
+	for i := 1; i < len(left); i++ {
+		for k := i; k > 0 && left[k].seq < left[k-1].seq; k-- {
+			left[k], left[k-1] = left[k-1], left[k]
+		}
+	}
 	return left
 }

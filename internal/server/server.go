@@ -22,6 +22,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -36,6 +38,17 @@ import (
 	"repro/internal/obs/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
+)
+
+// Fleet roles. A standalone node is the original single-process service.
+// A coordinator accepts the same /v1 API but executes no simulations
+// itself: every cell is dispatched to a registered worker. A worker
+// executes cells (POST /v1/cells) on behalf of a coordinator and still
+// serves the full standalone API for direct use.
+const (
+	RoleStandalone  = "standalone"
+	RoleCoordinator = "coordinator"
+	RoleWorker      = "worker"
 )
 
 // Config sizes the service.
@@ -80,6 +93,59 @@ type Config struct {
 	ChaosPanic string
 	// Log receives service events (nil = log.Default).
 	Log *log.Logger
+
+	// ---- fleet (coordinator/worker mode) ----
+
+	// Role selects the node's fleet role: RoleStandalone (default),
+	// RoleCoordinator, or RoleWorker.
+	Role string
+	// NodeID names this node in fleet APIs, logs, quarantine records, and
+	// per-worker metrics (default: the role).
+	NodeID string
+	// StoreDir mounts the content-addressed result store at the given
+	// directory (empty = no store). A local fleet sharing one StoreDir
+	// deduplicates cells fleet-wide; a per-node directory is still a
+	// restart-durable cache, and the coordinator's copy is the byte-level
+	// determinism audit.
+	StoreDir string
+	// DialWorker connects the coordinator to a registered worker's base
+	// URL. Required for RoleCoordinator; internal/client.DialWorker is
+	// the production implementation (the indirection avoids an import
+	// cycle and lets tests use in-process fakes).
+	DialWorker func(addr string) WorkerCaller
+	// LeaseTTL is how long a worker lease lives without a heartbeat
+	// before eviction (default 3s).
+	LeaseTTL time.Duration
+	// CellTimeout deadlines one cell's whole dispatch, retries and
+	// hedges included (default 2m).
+	CellTimeout time.Duration
+	// CellRetries caps re-dispatches per cell beyond the first attempt
+	// (default 8).
+	CellRetries int
+	// HedgeDelay, when > 0, launches a hedged second attempt when the
+	// owner has not answered within the delay. 0 (the default) hedges
+	// only when the owner stops heartbeating mid-call.
+	HedgeDelay time.Duration
+	// RetryBudget and RetryRefillPerSec bound coordinator-wide cell
+	// re-dispatches: a token bucket of RetryBudget burst refilled at
+	// RetryRefillPerSec tokens/s (defaults 256 and 64). A flapping
+	// worker degrades throughput; it cannot amplify load without bound.
+	RetryBudget       int
+	RetryRefillPerSec float64
+	// PerTenantQueue caps one tenant's share of the job queue (default:
+	// QueueCapacity, i.e. only the global bound). Tenancy comes from the
+	// X-Tenant request header; queued tenants are served round-robin.
+	PerTenantQueue int
+	// CellConcurrency bounds concurrent direct cell executions
+	// (POST /v1/cells) on this node (default GOMAXPROCS). Excess calls
+	// queue inside their request until a slot frees or the caller's
+	// deadline fires.
+	CellConcurrency int
+	// JournalWAL switches the journal from drain-time snapshots to a
+	// write-ahead log: an "accept" record at admission and a "done"
+	// record at any terminal state, so pending jobs survive a SIGKILL,
+	// not just a graceful Drain. Requires JournalPath.
+	JournalWAL bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +163,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
+	}
+	if c.Role == "" {
+		c.Role = RoleStandalone
+	}
+	if c.NodeID == "" {
+		c.NodeID = c.Role
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.CellTimeout <= 0 {
+		c.CellTimeout = 2 * time.Minute
+	}
+	if c.CellRetries < 1 {
+		c.CellRetries = 8
+	}
+	if c.RetryBudget < 1 {
+		c.RetryBudget = 256
+	}
+	if c.RetryRefillPerSec <= 0 {
+		c.RetryRefillPerSec = 64
+	}
+	if c.CellConcurrency < 1 {
+		c.CellConcurrency = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -122,6 +212,31 @@ type Server struct {
 	shardDur      map[int]*metrics.Histogram
 	shardOverflow *metrics.Histogram
 
+	// Fleet state: the shared result store (any role), and the worker
+	// registry + dispatch admission control (coordinator only).
+	store       *resultStore
+	registry    *registry
+	retryTokens *tokenBucket
+	cellSlots   chan struct{}
+	arenas      sync.Pool
+
+	// Per-config wire-encoding cache for dispatch (see dispatch.go).
+	encMu  sync.Mutex
+	encCfg map[string][]byte
+
+	// Write-ahead journal file (see journal.go; nil unless JournalWAL).
+	walMu sync.Mutex
+	walF  *os.File
+
+	// Worker-role attachment state, reported by /v1/healthz.
+	attachMu    sync.Mutex
+	attachState string
+
+	// Per-worker dispatch latency histograms (see metrics.go).
+	workerMu       sync.Mutex
+	workerDur      map[string]*metrics.Histogram
+	workerOverflow *metrics.Histogram
+
 	mu        sync.Mutex
 	jobs      map[string]*Job
 	nextID    uint64
@@ -133,12 +248,39 @@ type Server struct {
 // a previous Drain, re-enqueues the jobs recorded there.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	switch cfg.Role {
+	case RoleStandalone, RoleCoordinator, RoleWorker:
+	default:
+		return nil, fmt.Errorf("server: unknown role %q (valid: %s, %s, %s)", cfg.Role, RoleStandalone, RoleCoordinator, RoleWorker)
+	}
+	if cfg.Role == RoleCoordinator && cfg.DialWorker == nil {
+		return nil, fmt.Errorf("server: coordinator role requires Config.DialWorker")
+	}
+	if cfg.JournalWAL && cfg.JournalPath == "" {
+		return nil, fmt.Errorf("server: JournalWAL requires JournalPath")
+	}
 	s := &Server{cfg: cfg, jobs: make(map[string]*Job), sweeps: make(map[string]*sweepRec)}
 	s.quar = newQuarantine(cfg.CrashThreshold)
 	if cfg.CacheCells > 0 {
 		s.memo = cache.NewLRU[harness.MemoValue](cfg.CacheCells)
 	}
-	s.sched = newScheduler(cfg.Workers, cfg.QueueCapacity, s.runJob)
+	if cfg.StoreDir != "" {
+		st, err := openStore(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.store = st
+	}
+	if cfg.Role == RoleCoordinator {
+		s.registry = newRegistry(cfg.LeaseTTL, cfg.DialWorker, func(id string) {
+			s.svc.WorkersEvicted.Add(1)
+			cfg.Log.Printf("polyserve: worker %s evicted (missed heartbeat lease %s)", id, cfg.LeaseTTL)
+		})
+		s.retryTokens = newTokenBucket(cfg.RetryBudget, cfg.RetryRefillPerSec)
+	}
+	s.cellSlots = make(chan struct{}, cfg.CellConcurrency)
+	s.arenas = arenaPool()
+	s.sched = newTenantScheduler(cfg.Workers, cfg.QueueCapacity, cfg.PerTenantQueue, s.runJob)
 	s.initMetrics()
 	if cfg.JournalPath != "" {
 		n, err := s.loadJournal(cfg.JournalPath)
@@ -152,11 +294,41 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+func (s *Server) isCoordinator() bool { return s.cfg.Role == RoleCoordinator }
+
+// SetAttachment records a worker's coordinator-attachment state
+// ("attached" / "detached"), surfaced by /v1/healthz; cmd/polyserve's
+// attachment loop calls it on every transition.
+func (s *Server) SetAttachment(state string) {
+	s.attachMu.Lock()
+	s.attachState = state
+	s.attachMu.Unlock()
+}
+
+// Attachment returns the worker's coordinator-attachment state.
+func (s *Server) Attachment() string {
+	s.attachMu.Lock()
+	defer s.attachMu.Unlock()
+	if s.attachState == "" {
+		return "detached"
+	}
+	return s.attachState
+}
+
 // Drain stops accepting jobs, waits for in-flight jobs to finish, and
 // journals still-queued jobs to cfg.JournalPath (if set) so a restarted
-// server picks them up. It returns the number of journaled jobs.
+// server picks them up. It returns the number of journaled jobs. In WAL
+// mode the queued jobs' accept records are already durable; Drain only
+// closes the log.
 func (s *Server) Drain() (int, error) {
 	left := s.sched.drain()
+	if s.registry != nil {
+		s.registry.close()
+	}
+	if s.cfg.JournalWAL {
+		s.walClose()
+		return len(left), nil
+	}
 	if len(left) == 0 || s.cfg.JournalPath == "" {
 		return 0, nil
 	}
@@ -184,6 +356,14 @@ func (s *Server) Stats() Snapshot {
 			snap.CacheHitRate = float64(hits) / float64(hits+misses)
 		}
 	}
+	snap.Role = s.cfg.Role
+	snap.Node = s.cfg.NodeID
+	if s.registry != nil {
+		snap.WorkersLive = s.registry.liveCount()
+	}
+	if s.store != nil {
+		snap.StoreEntries = s.store.Len()
+	}
 	return snap
 }
 
@@ -197,6 +377,10 @@ type Snapshot struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Role          string  `json:"role,omitempty"`
+	Node          string  `json:"node,omitempty"`
+	WorkersLive   int     `json:"workers_live,omitempty"`
+	StoreEntries  int     `json:"store_entries,omitempty"`
 }
 
 // Handler mounts the /v1 API.
@@ -216,6 +400,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/cells", s.handleSweepCells)
 	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	mux.HandleFunc("POST /v1/cells", s.handleCellRun)
+	mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	mux.Handle("GET /metrics", s.MetricsHandler())
 	return mux
 }
@@ -224,17 +412,26 @@ func (s *Server) Handler() http.Handler {
 // signature has crashed the worker CrashThreshold times.
 var ErrQuarantined = errors.New("server: request quarantined after repeated worker crashes")
 
-// Submit validates a request and enqueues it, returning the new job.
-// Validation failures are *RequestError (HTTP 400); a full queue is
-// ErrQueueFull, a draining server ErrDraining, and a repeatedly-crashing
-// request ErrQuarantined.
+// Submit validates a request and enqueues it under the default tenant,
+// returning the new job. Validation failures are *RequestError (HTTP
+// 400); a full queue is ErrQueueFull (a full tenant share
+// ErrTenantQueueFull), a draining server ErrDraining, and a
+// repeatedly-crashing request ErrQuarantined.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
-	return s.submit(req, nil)
+	return s.submit(req, "", nil)
+}
+
+// SubmitAs enqueues a request under the named fair-queuing tenant.
+func (s *Server) SubmitAs(req JobRequest, tenant string) (*Job, error) {
+	return s.submit(req, tenant, nil)
 }
 
 // submit is the shared enqueue path of Submit and SubmitSweep; sw, when
 // non-nil, attaches the job to the sweep record it executes.
-func (s *Server) submit(req JobRequest, sw *sweepRec) (*Job, error) {
+func (s *Server) submit(req JobRequest, tenant string, sw *sweepRec) (*Job, error) {
+	if s.isCoordinator() && req.Trace {
+		return nil, &RequestError{Err: fmt.Errorf("trace is not supported in coordinator mode: cells execute on remote workers and produce no local trace events")}
+	}
 	configs, err := req.resolve(s.cfg.MaxInsts)
 	if err != nil {
 		return nil, &RequestError{Err: err}
@@ -247,6 +444,7 @@ func (s *Server) submit(req JobRequest, sw *sweepRec) (*Job, error) {
 		State:     JobQueued,
 		Request:   req,
 		Submitted: time.Now().UTC(),
+		Tenant:    tenant,
 		configs:   configs,
 		sweep:     sw,
 	}
@@ -263,8 +461,13 @@ func (s *Server) submit(req JobRequest, sw *sweepRec) (*Job, error) {
 		if errors.Is(err, ErrQueueFull) {
 			s.svc.JobsRejected.Add(1)
 		}
+		if errors.Is(err, ErrTenantQueueFull) {
+			s.svc.JobsRejected.Add(1)
+			s.svc.TenantRejected.Add(1)
+		}
 		return nil, err
 	}
+	s.walAppend("accept", j)
 	s.svc.JobsSubmitted.Add(1)
 	return j, nil
 }
@@ -306,6 +509,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 			j.Finished = &now
 			s.svc.JobsCancelled.Add(1)
 			s.mu.Unlock()
+			s.walAppend("done", j)
 			return true, nil
 		}
 		s.mu.Unlock()
@@ -372,8 +576,24 @@ func (s *Server) runJob(j *Job) {
 			}
 		},
 	}
-	if s.memo != nil {
-		opts.Memo = s.memo
+	if s.isCoordinator() {
+		// Coordinator: every non-memoized cell becomes one remote dispatch
+		// (dispatch.go). The local LRU stays as the first tier; the shared
+		// result store is consulted inside execRemote, so it is not
+		// layered into the memo here (that would double the store writes).
+		opts.Exec = s.execRemote
+		if s.cfg.SimParallelism == 0 {
+			// Dispatch is network-bound, not CPU-bound: fan out wider than
+			// GOMAXPROCS so a small coordinator keeps a larger fleet busy.
+			opts.Parallelism = 4 * runtime.GOMAXPROCS(0)
+		}
+		if s.memo != nil {
+			opts.Memo = s.memo
+		}
+	} else if m := s.cellMemo(); m != nil {
+		// Standalone/worker: the in-memory LRU backed by the persistent
+		// result store when one is mounted.
+		opts.Memo = m
 	}
 	if s.cfg.Audit != pipeline.AuditOff {
 		opts.Audit = s.cfg.Audit
@@ -410,6 +630,7 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	text, err, crashed := s.renderContained(j, opts)
+	crashNode := s.cfg.NodeID
 	var mce *pipeline.MachineCheckError
 	if errors.As(err, &mce) {
 		// A machine check escaping the simulator is a contained crash just
@@ -418,12 +639,22 @@ func (s *Server) runJob(j *Job) {
 		crashed = true
 		s.svc.WorkerPanics.Add(1)
 	}
+	if node, ok := IsWorkerCrash(err); ok {
+		// A remote worker crashed executing one of this job's cells: the
+		// request counts against quarantine here too, attributed to the
+		// worker node that observed the crash (the worker already counted
+		// its own panic; only attribution happens coordinator-side).
+		crashed = true
+		if node != "" {
+			crashNode = node
+		}
+	}
 
 	finished := time.Now().UTC()
 	if crashed {
-		sig, quarantinedNow := s.quar.recordCrash(j.Request, j.describe(), err.Error(), finished)
+		sig, quarantinedNow := s.quar.recordCrash(j.Request, j.describe(), err.Error(), crashNode, finished)
 		if quarantinedNow {
-			s.cfg.Log.Printf("polyserve: quarantined request signature %s after %d crashes (%s)", sig, s.cfg.CrashThreshold, j.describe())
+			s.cfg.Log.Printf("polyserve: quarantined request signature %s after %d crashes (%s, node %s)", sig, s.cfg.CrashThreshold, j.describe(), crashNode)
 		}
 	}
 	s.mu.Lock()
@@ -449,6 +680,7 @@ func (s *Server) runJob(j *Job) {
 		s.svc.JobsFailed.Add(1)
 	}
 	s.observeJobDuration(j.State, finished.Sub(now))
+	s.walAppend("done", j)
 	s.cfg.Log.Printf("polyserve: %s %s (%s) in %s", j.ID, j.State, j.describe(), finished.Sub(now).Round(time.Millisecond))
 }
 
@@ -539,7 +771,7 @@ func writeSubmitError(w http.ResponseWriter, err error, queueCapacity int) {
 	switch {
 	case errors.As(err, &cfgErr), errors.As(err, &reqErr):
 		writeError(w, http.StatusBadRequest, err)
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueueFull):
 		// Backpressure: tell the client when to come back. The hint
 		// scales with the backlog; precision is not required.
 		w.Header().Set("Retry-After", strconv.Itoa(2*queueCapacity))
@@ -558,7 +790,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	j, err := s.Submit(req)
+	j, err := s.SubmitAs(req, r.Header.Get("X-Tenant"))
 	if err != nil {
 		writeSubmitError(w, err, s.cfg.QueueCapacity)
 		return
@@ -637,7 +869,19 @@ func (s *Server) writeJobResult(w http.ResponseWriter, id string) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": obs.Version()})
+	body := map[string]string{
+		"status":  "ok",
+		"version": obs.Version(),
+		"role":    s.cfg.Role,
+		"node":    s.cfg.NodeID,
+	}
+	switch s.cfg.Role {
+	case RoleWorker:
+		body["coordinator"] = s.Attachment()
+	case RoleCoordinator:
+		body["workers_live"] = strconv.Itoa(s.registry.liveCount())
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -646,4 +890,91 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuarantine(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.quar.list())
+}
+
+// ---- fleet HTTP: worker registration and membership ----
+
+// WorkerRegistration is the body of POST /v1/workers.
+type WorkerRegistration struct {
+	// ID is the worker's stable node identity; re-registering under the
+	// same ID after a restart reclaims the old ring position.
+	ID string `json:"id"`
+	// Addr is the worker's reachable base URL (e.g. "http://10.0.0.7:8081").
+	Addr string `json:"addr"`
+}
+
+// WorkerLease is the response to registration and heartbeats.
+type WorkerLease struct {
+	// LeaseMS is how long the lease lives without a heartbeat; workers
+	// should beat at a small fraction of it.
+	LeaseMS int64 `json:"lease_ms"`
+	// Coordinator is the coordinator's node ID.
+	Coordinator string `json:"coordinator"`
+}
+
+// FleetStatus is the GET /v1/workers response.
+type FleetStatus struct {
+	Coordinator  string         `json:"coordinator"`
+	WorkersLive  int            `json:"workers_live"`
+	Workers      []WorkerStatus `json:"workers"`
+	StoreEntries int            `json:"store_entries,omitempty"`
+}
+
+// requireCoordinator gates the fleet-membership endpoints.
+func (s *Server) requireCoordinator(w http.ResponseWriter) bool {
+	if !s.isCoordinator() {
+		writeError(w, http.StatusConflict, fmt.Errorf("node %s has role %s; fleet membership lives on the coordinator", s.cfg.NodeID, s.cfg.Role))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	var req WorkerRegistration
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ttl, err := s.registry.register(req.ID, req.Addr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cfg.Log.Printf("polyserve: worker %s registered at %s (lease %s)", req.ID, req.Addr, ttl)
+	writeJSON(w, http.StatusOK, WorkerLease{LeaseMS: ttl.Milliseconds(), Coordinator: s.cfg.NodeID})
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.registry.beat(id) {
+		// The coordinator restarted (empty registry) or evicted this
+		// worker long enough ago to forget it; either way the worker must
+		// re-register to resume.
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q: re-register", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, WorkerLease{LeaseMS: s.cfg.LeaseTTL.Milliseconds(), Coordinator: s.cfg.NodeID})
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if !s.requireCoordinator(w) {
+		return
+	}
+	st := FleetStatus{
+		Coordinator: s.cfg.NodeID,
+		WorkersLive: s.registry.liveCount(),
+		Workers:     s.registry.snapshot(),
+	}
+	if s.store != nil {
+		st.StoreEntries = s.store.Len()
+	}
+	if st.Workers == nil {
+		st.Workers = []WorkerStatus{}
+	}
+	writeJSON(w, http.StatusOK, st)
 }

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/harness"
+)
+
+// store.go is the fleet's content-addressed result store: one JSON file
+// per completed cell, named by the SHA-256 of the cell's content address
+// (harness.CellKey). Simulations are deterministic, so the store doubles
+// as a cross-restart, cross-node memoization tier AND as a correctness
+// audit: two nodes writing different bytes under the same key can only
+// mean nondeterminism (or corruption), which Put surfaces as a conflict
+// instead of silently overwriting. First write wins; writes are
+// temp+rename so readers never observe a torn file.
+
+// storeRecord is the on-disk document. Key is stored inside the file so
+// an auditor (scripts/soak_smoke.sh) can recompute the address and verify
+// file name ↔ content agreement without a reverse index.
+type storeRecord struct {
+	Key   string            `json:"key"`
+	Value harness.MemoValue `json:"value"`
+}
+
+// resultStore is safe for concurrent use by dispatch goroutines.
+type resultStore struct {
+	dir string
+
+	hits      atomic.Uint64
+	puts      atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+func openStore(dir string) (*resultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("result store: %w", err)
+	}
+	return &resultStore{dir: dir}, nil
+}
+
+func (st *resultStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored value for key, if present and intact. A corrupt
+// or mismatched file reads as a miss — the cell is simply re-executed.
+func (st *resultStore) Get(key string) (harness.MemoValue, bool) {
+	data, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return harness.MemoValue{}, false
+	}
+	var rec storeRecord
+	if json.Unmarshal(data, &rec) != nil || rec.Key != key {
+		return harness.MemoValue{}, false
+	}
+	st.hits.Add(1)
+	return rec.Value, true
+}
+
+// Put stores the value under key. When the key already exists the
+// existing result is kept (first write wins) and, if the bytes disagree,
+// the conflict counter records a determinism violation for the audit.
+// Returned errors are I/O problems; callers treat the store as a cache
+// and may continue without it.
+func (st *resultStore) Put(key string, v harness.MemoValue) (conflict bool, err error) {
+	blob, err := json.Marshal(storeRecord{Key: key, Value: v})
+	if err != nil {
+		return false, err
+	}
+	path := st.path(key)
+	if old, err := os.ReadFile(path); err == nil {
+		if !bytes.Equal(bytes.TrimSpace(old), blob) {
+			st.conflicts.Add(1)
+			return true, nil
+		}
+		return false, nil
+	}
+	tmp, err := os.CreateTemp(st.dir, ".cell-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return false, err
+	}
+	if err := tmp.Close(); err != nil {
+		return false, err
+	}
+	// A concurrent writer may have landed first; content under one key is
+	// identical by construction (same deterministic simulation), so the
+	// rename race is benign — but check anyway to feed the audit.
+	if old, err := os.ReadFile(path); err == nil && !bytes.Equal(bytes.TrimSpace(old), blob) {
+		st.conflicts.Add(1)
+		return true, nil
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return false, err
+	}
+	st.puts.Add(1)
+	return false, nil
+}
+
+// Len counts stored results (scrape-time only; walks the directory).
+func (st *resultStore) Len() int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") && !strings.HasPrefix(e.Name(), ".") {
+			n++
+		}
+	}
+	return n
+}
+
+// tieredMemo layers the persistent result store under the in-memory LRU:
+// Get falls back to the store (backfilling the LRU), Put writes through.
+// It is the harness.Memo a worker or standalone node runs with, making
+// every node's cache shared fleet-wide and restart-durable.
+type tieredMemo struct {
+	lru   harness.Memo // may be nil (caching disabled)
+	store *resultStore
+}
+
+func (m tieredMemo) Get(key string) (harness.MemoValue, bool) {
+	if m.lru != nil {
+		if v, ok := m.lru.Get(key); ok {
+			return v, true
+		}
+	}
+	v, ok := m.store.Get(key)
+	if ok && m.lru != nil {
+		m.lru.Put(key, v)
+	}
+	return v, ok
+}
+
+func (m tieredMemo) Put(key string, v harness.MemoValue) {
+	if m.lru != nil {
+		m.lru.Put(key, v)
+	}
+	_, _ = m.store.Put(key, v)
+}

@@ -143,9 +143,15 @@ func (r SweepRequest) jobRequest() JobRequest {
 	}
 }
 
-// SubmitSweep validates a sweep, enqueues its executing job, and returns
-// the sweep snapshot. Error mapping is identical to Submit.
+// SubmitSweep validates a sweep, enqueues its executing job under the
+// default tenant, and returns the sweep snapshot. Error mapping is
+// identical to Submit.
 func (s *Server) SubmitSweep(req SweepRequest) (Sweep, error) {
+	return s.SubmitSweepAs(req, "")
+}
+
+// SubmitSweepAs enqueues a sweep under the named fair-queuing tenant.
+func (s *Server) SubmitSweepAs(req SweepRequest, tenant string) (Sweep, error) {
 	if len(req.Configs) == 0 {
 		return Sweep{}, &RequestError{Err: fmt.Errorf("sweep must list at least one entry in \"configs\"")}
 	}
@@ -173,7 +179,7 @@ func (s *Server) SubmitSweep(req SweepRequest) (Sweep, error) {
 		total:       benches * len(req.Configs) * reps,
 		parallelism: par,
 	}
-	j, err := s.submit(req.jobRequest(), rec)
+	j, err := s.submit(req.jobRequest(), tenant, rec)
 	if err != nil {
 		return Sweep{}, err
 	}
@@ -231,7 +237,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sw, err := s.SubmitSweep(req)
+	sw, err := s.SubmitSweepAs(req, r.Header.Get("X-Tenant"))
 	if err != nil {
 		writeSubmitError(w, err, s.cfg.QueueCapacity)
 		return

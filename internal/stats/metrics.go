@@ -42,6 +42,14 @@ func (s *Service) Register(reg *metrics.Registry) {
 			}
 			return float64(s.SweepSerialNanos.Load()) / float64(wall)
 		})
+	ctr("polyserve_cells_dispatched_total", "", "Remote cell executions launched at fleet workers.", &s.CellsDispatched)
+	ctr("polyserve_cells_redispatched_total", "", "Cell re-dispatches after a worker failure, eviction, or hedge.", &s.CellsRedispatched)
+	ctr("polyserve_retry_budget_exhausted_total", "", "Cells failed because the dispatch retry budget ran dry.", &s.RetryBudgetExhausted)
+	ctr("polyserve_workers_evicted_total", "", "Workers evicted after missing their heartbeat lease.", &s.WorkersEvicted)
+	ctr("polyserve_tenant_rejected_total", "", "Submissions rejected by a full per-tenant queue.", &s.TenantRejected)
+	ctr("polyserve_store_ops_total", `op="hit"`, "Shared result-store operations: hits, puts, and write conflicts.", &s.StoreHits)
+	ctr("polyserve_store_ops_total", `op="put"`, "", &s.StorePuts)
+	ctr("polyserve_store_ops_total", `op="conflict"`, "", &s.StoreConflicts)
 }
 
 // Snapshot exports the histogram for the metrics registry: integer-valued

@@ -31,6 +31,16 @@ type Service struct {
 	SweepCellsDone   atomic.Uint64 // cells completed inside sweeps (cache hits included)
 	SweepSerialNanos atomic.Int64  // summed per-cell wall time inside sweeps ("serial seconds")
 	SweepWallNanos   atomic.Int64  // wall time of sweep jobs start-to-finish; serial/wall = speedup
+
+	// Fleet (coordinator/worker mode).
+	CellsDispatched      atomic.Uint64 // remote cell executions launched at workers
+	CellsRedispatched    atomic.Uint64 // re-dispatches after a worker failure, eviction, or hedge
+	RetryBudgetExhausted atomic.Uint64 // cells failed because the dispatch retry budget ran dry
+	WorkersEvicted       atomic.Uint64 // workers evicted after missing their heartbeat lease
+	TenantRejected       atomic.Uint64 // submissions rejected by a full per-tenant queue
+	StoreHits            atomic.Uint64 // cells served from the shared content-addressed result store
+	StorePuts            atomic.Uint64 // results written to the store
+	StoreConflicts       atomic.Uint64 // store writes that disagreed with an existing result (determinism violation)
 }
 
 // ServiceSnapshot is a consistent-enough point-in-time copy of the
@@ -61,6 +71,15 @@ type ServiceSnapshot struct {
 	SweepSerialSeconds float64 `json:"sweep_serial_seconds"`
 	SweepWallSeconds   float64 `json:"sweep_wall_seconds"`
 	SweepSpeedup       float64 `json:"sweep_speedup"` // serial/wall; >1 means sharding paid off
+
+	CellsDispatched      uint64 `json:"cells_dispatched,omitempty"`
+	CellsRedispatched    uint64 `json:"cells_redispatched,omitempty"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted,omitempty"`
+	WorkersEvicted       uint64 `json:"workers_evicted,omitempty"`
+	TenantRejected       uint64 `json:"tenant_rejected,omitempty"`
+	StoreHits            uint64 `json:"store_hits,omitempty"`
+	StorePuts            uint64 `json:"store_puts,omitempty"`
+	StoreConflicts       uint64 `json:"store_conflicts,omitempty"`
 }
 
 // Snapshot reads every counter and derives the throughput figures.
@@ -95,5 +114,13 @@ func (s *Service) Snapshot() ServiceSnapshot {
 	if wall > 0 {
 		snap.SweepSpeedup = float64(serial) / float64(wall)
 	}
+	snap.CellsDispatched = s.CellsDispatched.Load()
+	snap.CellsRedispatched = s.CellsRedispatched.Load()
+	snap.RetryBudgetExhausted = s.RetryBudgetExhausted.Load()
+	snap.WorkersEvicted = s.WorkersEvicted.Load()
+	snap.TenantRejected = s.TenantRejected.Load()
+	snap.StoreHits = s.StoreHits.Load()
+	snap.StorePuts = s.StorePuts.Load()
+	snap.StoreConflicts = s.StoreConflicts.Load()
 	return snap
 }

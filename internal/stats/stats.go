@@ -218,14 +218,40 @@ func (h *Histogram) Add(v int) {
 // Samples returns the number of recorded samples.
 func (h *Histogram) Samples() uint64 { return h.samples }
 
-// MarshalJSON emits {mean, samples, buckets} so histograms survive the
-// machine-readable experiment output.
+// MarshalJSON emits {mean, samples, sum, buckets} so histograms survive
+// the machine-readable experiment output — and, paired with
+// UnmarshalJSON, round-trip exactly. Exact round-tripping is what lets a
+// remote worker ship a stats.Sim over the wire with the bit-identical
+// result contract intact (polyserve's coordinator/worker mode).
 func (h Histogram) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Mean    float64  `json:"mean"`
 		Samples uint64   `json:"samples"`
+		Sum     uint64   `json:"sum,omitempty"`
 		Buckets []uint64 `json:"buckets,omitempty"`
-	}{h.Mean(), h.samples, h.buckets})
+	}{h.Mean(), h.samples, h.sum, h.buckets})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. Legacy
+// encodings without the "sum" field reconstruct it from mean×samples
+// (exact for any realistic simulation length).
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Mean    float64  `json:"mean"`
+		Samples uint64   `json:"samples"`
+		Sum     uint64   `json:"sum"`
+		Buckets []uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.buckets = w.Buckets
+	h.samples = w.Samples
+	h.sum = w.Sum
+	if h.sum == 0 && w.Mean > 0 && w.Samples > 0 {
+		h.sum = uint64(math.Round(w.Mean * float64(w.Samples)))
+	}
+	return nil
 }
 
 // Mean returns the average sample value.

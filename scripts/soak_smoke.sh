@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# soak_smoke.sh — distributed-mode soak test of the polyserve fleet.
+#
+# Boots one coordinator and three workers (workers built with -race)
+# sharing a content-addressed result store, then runs a 32-cell sweep
+# while killing things mid-flight:
+#
+#   1. SIGKILL worker 2 mid-sweep and restart it,
+#   2. SIGKILL worker 3 mid-sweep and restart it,
+#   3. SIGKILL the coordinator itself mid-sweep and restart it — the
+#      write-ahead journal must resume the job under its original ID,
+#      replaying already-completed cells from the shared store,
+#
+# and finally asserts:
+#
+#   - the fleet's rendered result is byte-identical to a single-node run
+#     of the same request,
+#   - zero cells were lost or duplicated: the store holds exactly one
+#     entry per cell, the entry names (sha256 of the cell's canonical
+#     identity) match the single-node run's store exactly, and the
+#     store-conflict counter (divergent re-execution = determinism
+#     violation) is zero,
+#   - a short open-loop polyload burst against the surviving fleet
+#     completes with successes (throughput is reported, not gated here).
+#
+# Every process log lands in $LOGDIR (kept on failure; CI uploads it).
+set -euo pipefail
+
+PORT_C="${PORT_C:-18090}"
+PORT_W1="${PORT_W1:-18091}"
+PORT_W2="${PORT_W2:-18092}"
+PORT_W3="${PORT_W3:-18093}"
+BASE="http://127.0.0.1:${PORT_C}/v1"
+WORKDIR="$(mktemp -d)"
+LOGDIR="${SOAK_LOGS:-$WORKDIR/logs}"
+mkdir -p "$LOGDIR"
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "soak_smoke: FAIL: $*" >&2
+    echo "soak_smoke: process logs:" >&2
+    tail -n 20 "$LOGDIR"/*.log >&2 || true
+    exit 1
+}
+
+cd "$(dirname "$0")/.."
+
+echo "== building (workers with -race) =="
+go build -o "$WORKDIR/polyserve" ./cmd/polyserve
+go build -race -o "$WORKDIR/polyserve-race" ./cmd/polyserve
+go build -o "$WORKDIR/polyload" ./cmd/polyload
+
+STORE_FLEET="$WORKDIR/store-fleet"
+STORE_SOLO="$WORKDIR/store-solo"
+WAL="$WORKDIR/coordinator.journal"
+
+json_field() { # json_field <field> — extract a top-level string/number field
+    python3 -c "import json,sys; v=json.load(sys.stdin).get('$1',''); print(v if not isinstance(v,(dict,list)) else json.dumps(v))"
+}
+
+wait_healthy() { # wait_healthy <url> <what>
+    for i in $(seq 1 100); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    fail "$2 did not come up"
+}
+
+# -workers/-queue sized for the polyload phase: jobs are tiny (one cell
+# each, mostly memoized), so high concurrency is cheap and the open-loop
+# burst needs queue headroom to sustain its target rate.
+start_coordinator() {
+    "$WORKDIR/polyserve" -role coordinator -node coord -addr "127.0.0.1:$PORT_C" \
+        -store "$STORE_FLEET" -journal "$WAL" -lease 2s \
+        -workers 64 -queue 8192 -cache 16384 \
+        >>"$LOGDIR/coordinator.log" 2>&1 &
+    COORD_PID=$!
+    PIDS+=("$COORD_PID")
+    disown
+    wait_healthy "$BASE" "coordinator"
+}
+
+# Every process gets an explicit -journal inside WORKDIR: the flag
+# defaults to polyserve.journal in the CWD, and a stale journal from an
+# unrelated run would be silently resumed into this run's stores,
+# corrupting the lost/duplicated-cell audit.
+start_worker() { # start_worker <n> <port>
+    "$WORKDIR/polyserve-race" -role worker -node "w$1" -addr "127.0.0.1:$2" \
+        -coordinator "http://127.0.0.1:$PORT_C" -store "$STORE_FLEET" \
+        -journal "$WORKDIR/worker$1.journal" \
+        >>"$LOGDIR/worker$1.log" 2>&1 &
+    eval "W$1_PID=\$!"
+    PIDS+=("$!")
+    disown
+    wait_healthy "http://127.0.0.1:$2/v1" "worker w$1"
+}
+
+store_entries() { ls "$STORE_FLEET" 2>/dev/null | grep -c '\.json$' || true; }
+
+# The reference sweep: 4 models x 8 benchmarks = 32 cells, heavy enough
+# (200k insts on race-built workers) that the kill schedule lands
+# mid-sweep even on fast machines.
+REQ='{"configs":[{"name":"mono","model":"monopath"},{"name":"see","model":"see"},{"name":"dual","model":"dualpath"},{"name":"eager","model":"eager"}],"insts":200000}'
+EXPECTED_CELLS=32
+
+echo "== single-node baseline =="
+"$WORKDIR/polyserve" -role standalone -addr "127.0.0.1:$PORT_W1" -store "$STORE_SOLO" \
+    -journal "$WORKDIR/solo.journal" \
+    >>"$LOGDIR/solo.log" 2>&1 &
+SOLO_PID=$!
+PIDS+=("$SOLO_PID")
+disown
+wait_healthy "http://127.0.0.1:$PORT_W1/v1" "baseline server"
+SOLO_ID=$(curl -fsS -X POST "http://127.0.0.1:$PORT_W1/v1/jobs" -d "$REQ" | json_field id)
+[ -n "$SOLO_ID" ] || fail "baseline submit returned no job id"
+for i in $(seq 1 600); do
+    state=$(curl -fsS "http://127.0.0.1:$PORT_W1/v1/jobs/$SOLO_ID" | json_field state)
+    [ "$state" = done ] && break
+    case "$state" in failed|cancelled) fail "baseline job $state" ;; esac
+    [ "$i" = 600 ] && fail "baseline job did not finish"
+    sleep 0.5
+done
+curl -fsS "http://127.0.0.1:$PORT_W1/v1/results/$SOLO_ID" \
+    | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["text"])' \
+    > "$WORKDIR/solo.txt"
+kill "$SOLO_PID" 2>/dev/null || true
+wait "$SOLO_PID" 2>/dev/null || true
+
+echo "== starting fleet (1 coordinator + 3 workers) =="
+start_coordinator
+start_worker 1 "$PORT_W1"
+start_worker 2 "$PORT_W2"
+start_worker 3 "$PORT_W3"
+for i in $(seq 1 100); do
+    live=$(curl -fsS "$BASE/workers" | json_field workers_live)
+    [ "$live" = 3 ] && break
+    [ "$i" = 100 ] && fail "fleet never reached 3 live workers (got '$live')"
+    sleep 0.2
+done
+echo "fleet live: 3 workers"
+
+echo "== submitting the sweep to the coordinator =="
+JOB_ID=$(curl -fsS -X POST "$BASE/jobs" -d "$REQ" | json_field id)
+[ -n "$JOB_ID" ] || fail "fleet submit returned no job id"
+echo "job $JOB_ID"
+
+wait_entries() { # wait_entries <n> — block until the store holds >= n results
+    for i in $(seq 1 600); do
+        [ "$(store_entries)" -ge "$1" ] && return 0
+        state=$(curl -fsS "$BASE/jobs/$JOB_ID" 2>/dev/null | json_field state || true)
+        case "$state" in failed|cancelled) fail "fleet job $state before reaching $1 cells" ;; esac
+        sleep 0.3
+    done
+    fail "store never reached $1 entries (at $(store_entries))"
+}
+
+echo "== chaos: SIGKILL worker 2 mid-sweep, restart =="
+wait_entries 4
+kill -9 "$W2_PID"
+sleep 1
+start_worker 2 "$PORT_W2"
+
+echo "== chaos: SIGKILL worker 3 mid-sweep, restart =="
+wait_entries 8
+kill -9 "$W3_PID"
+sleep 1
+start_worker 3 "$PORT_W3"
+
+echo "== chaos: SIGKILL the coordinator mid-sweep, restart =="
+wait_entries 12
+kill -9 "$COORD_PID"
+sleep 1
+start_coordinator
+
+echo "== waiting for the WAL-resumed job =="
+for i in $(seq 1 600); do
+    state=$(curl -fsS "$BASE/jobs/$JOB_ID" 2>/dev/null | json_field state || true)
+    case "$state" in
+        done) break ;;
+        failed|cancelled) fail "resumed job $state" ;;
+        "") : ;; # coordinator briefly 404s while reloading the WAL
+    esac
+    [ "$i" = 600 ] && fail "resumed job never finished (state '$state')"
+    sleep 0.5
+done
+
+curl -fsS "$BASE/results/$JOB_ID" \
+    | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["text"])' \
+    > "$WORKDIR/fleet.txt"
+
+echo "== audit: byte-identical result =="
+if ! cmp -s "$WORKDIR/solo.txt" "$WORKDIR/fleet.txt"; then
+    diff "$WORKDIR/solo.txt" "$WORKDIR/fleet.txt" >&2 || true
+    fail "fleet result differs from single-node run"
+fi
+echo "results byte-identical"
+
+echo "== audit: zero lost or duplicated cells =="
+got=$(store_entries)
+[ "$got" = "$EXPECTED_CELLS" ] || fail "store holds $got entries, want $EXPECTED_CELLS"
+# CanonicalHash audit: the store's entry names are sha256 of each cell's
+# canonical identity, so the fleet's key set must equal the baseline's.
+if ! diff <(ls "$STORE_FLEET" | sort) <(ls "$STORE_SOLO" | sort) >&2; then
+    fail "fleet store key set differs from single-node store"
+fi
+conflicts=$(curl -fsS "$BASE/stats" | json_field store_conflicts)
+[ -z "$conflicts" ] || [ "$conflicts" = 0 ] || fail "store recorded $conflicts determinism conflicts"
+echo "cell-count + hash audit ok ($got cells, 0 conflicts)"
+
+echo "== polyload burst against the survivors =="
+"$WORKDIR/polyload" -url "http://127.0.0.1:$PORT_C" -rate 1200 -duration 5s \
+    -hot 0.95 -insts 5000 | tee "$LOGDIR/polyload.log"
+
+echo "soak_smoke: PASS"
