@@ -5,7 +5,7 @@ FUZZTIME ?= 30s
 
 BENCH_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport bench-diff bench-scaling experiments serve-smoke chaos-smoke trace-smoke soak-smoke fuzz-smoke cover-sched clean
+.PHONY: all build test race vet fmt-check check bench bench-smoke benchreport bench-diff bench-scaling experiments serve-smoke chaos-smoke trace-smoke char-smoke soak-smoke fuzz-smoke cover-sched clean
 
 all: build
 
@@ -88,6 +88,17 @@ serve-smoke:
 # Set TRACE_OUT=<dir> to keep the exported traces (CI uploads them).
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# char-smoke gates the trace ingestion + characterization suite: the
+# Figure 8 placement table must match the committed golden byte-for-byte
+# (and be shard-count independent), every Table 1 stand-in must survive
+# the emit-trace -> polychar -> synthesize round trip within +/-10%
+# relative gshare misprediction, polysim -import-trace must simulate the
+# synthesized stand-in, and corrupt traces must fail with typed
+# diagnostics. Set CHAR_OUT=<dir> to keep the artifacts (CI uploads them
+# on failure).
+char-smoke:
+	./scripts/char_smoke.sh
 
 # soak-smoke is the distributed-mode gate: 1 coordinator + 3 race-built
 # workers run a 32-cell sweep while workers and then the coordinator are

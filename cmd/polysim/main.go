@@ -36,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -46,6 +47,7 @@ import (
 	"strings"
 
 	"repro/internal/bpred"
+	"repro/internal/btrace"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/isa"
@@ -58,6 +60,7 @@ import (
 
 func main() {
 	bench := flag.String("bench", "go", "benchmark: compress,gcc,perl,go,m88ksim,xlisp,vortex,jpeg")
+	workloadName := flag.String("workload", "", "run any registered workload by name (alias of -bench covering the extended and runtime-registered families; unknown names list what is registered)")
 	asmFile := flag.String("asm", "", "simulate an assembly file instead of a generated benchmark")
 	model := flag.String("model", "see", "model: "+strings.Join(core.ModelNames(), ","))
 	compare := flag.String("compare", "", "comma-separated models to run side by side through the sharded harness; prints one IPC table instead of a single-model report")
@@ -70,6 +73,8 @@ func main() {
 	pred := flag.String("pred", "", "predictor kind override, any registered kind: "+strings.Join(pipeline.PredictorKinds(), ","))
 	predParams := flag.String("pred-params", "", "predictor parameters as name=value[,name=value...] (schema-checked; e.g. -pred tage -pred-params tables=4,tag_bits=11)")
 	seed := flag.Int64("seed", 0, "workload seed override (0 = benchmark default)")
+	emitTrace := flag.String("emit-trace", "", "export the workload's branch trace to this PBT1 file (gzip when it ends in .gz) and exit; print the record count and content digest")
+	importTrace := flag.String("import-trace", "", "characterize a PBT1 branch trace, synthesize a calibrated stand-in workload, and simulate it")
 	disasm := flag.Bool("disasm", false, "print the generated program and exit")
 	mix := flag.Bool("mix", false, "print the dynamic instruction mix and exit")
 	timeline := flag.Uint64("timeline", 0, "collect and print pipeline timelines for the first N instructions")
@@ -86,6 +91,10 @@ func main() {
 		return
 	}
 
+	if *workloadName != "" {
+		*bench = *workloadName
+	}
+
 	if *compare != "" {
 		// The multi-config path is the harness's deterministic sharded
 		// engine; the single-model observability hooks don't apply there.
@@ -93,6 +102,7 @@ func main() {
 			"-asm": *asmFile != "", "-disasm": *disasm, "-mix": *mix,
 			"-timeline": *timeline > 0, "-trace": *traceFile != "",
 			"-debug-addr": *debugAddr != "", "-seed": *seed != 0,
+			"-emit-trace": *emitTrace != "", "-import-trace": *importTrace != "",
 		} {
 			if set {
 				fail(fmt.Errorf("%s is incompatible with -compare", flagName))
@@ -103,13 +113,23 @@ func main() {
 	}
 
 	var prog *isa.Program
-	if *asmFile != "" {
+	switch {
+	case *importTrace != "":
+		if *asmFile != "" {
+			fail(fmt.Errorf("-asm is incompatible with -import-trace"))
+		}
+		bm, err := importedBenchmark(*importTrace, *insts)
+		fail(err)
+		*bench = bm.Spec.Name
+		prog, err = workload.Generate(bm.Spec)
+		fail(err)
+	case *asmFile != "":
 		src, err := os.ReadFile(*asmFile)
 		fail(err)
 		prog, err = isa.Assemble(string(src))
 		fail(err)
 		*bench = prog.Name
-	} else {
+	default:
 		bm, err := workload.ByName(*bench, *insts)
 		fail(err)
 		if *seed != 0 {
@@ -126,6 +146,10 @@ func main() {
 		prof, err := isa.ProfileProgram(prog, 1<<26)
 		fail(err)
 		fmt.Print(prof.String())
+		return
+	}
+	if *emitTrace != "" {
+		fail(emitTraceFile(*emitTrace, prog, *bench, *insts))
 		return
 	}
 
@@ -178,6 +202,61 @@ func main() {
 	if ring != nil {
 		fail(writeTrace(*traceFile, *traceFormat, *bench+"/"+*model, ring))
 	}
+}
+
+// emitTraceFile exports the program's branch trace to path in PBT1 format
+// (gzip-compressed when the path ends in .gz) and reports the record count
+// and content digest — the digest names the trace when re-imported
+// ("trace-<digest[:12]>"), so the round trip is content-addressed.
+func emitTraceFile(path string, prog *isa.Program, bench string, insts uint64) error {
+	if insts == 0 {
+		insts = workload.DefaultTargetInsts
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, digest, err := btrace.WriteProgramTrace(f, prog, insts, bench, strings.HasSuffix(path, ".gz"))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("polysim: wrote %d branch record(s) to %s\ndigest: %s\nworkload: %s\n",
+		n, path, digest, btrace.SynthName(digest))
+	return nil
+}
+
+// importedBenchmark characterizes a PBT1 trace file and synthesizes a
+// calibrated stand-in workload from it. A calibration near-miss (target
+// rate unreachable within tolerance) is reported on stderr but the best
+// candidate still runs.
+func importedBenchmark(path string, insts uint64) (workload.Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Benchmark{}, err
+	}
+	defer f.Close()
+	r, err := btrace.NewReader(f)
+	if err != nil {
+		return workload.Benchmark{}, err
+	}
+	ch, err := btrace.Characterize(r)
+	if err != nil {
+		return workload.Benchmark{}, err
+	}
+	bm, err := btrace.Synthesize(ch, insts)
+	if err != nil {
+		var ce *workload.CalibrationError
+		if !errors.As(err, &ce) {
+			return workload.Benchmark{}, err
+		}
+		fmt.Fprintln(os.Stderr, "polysim: warning:", err)
+	}
+	fmt.Fprintf(os.Stderr, "polysim: synthesized %s from %s (trace mispredict %.2f%%, stand-in %.2f%%, class %s)\n",
+		bm.Spec.Name, path, 100*ch.Rate, 100*bm.PaperMispredict, ch.Class)
+	return bm, nil
 }
 
 // runCompare simulates the benchmark under every named model at once,

@@ -1,0 +1,424 @@
+package btrace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bpred"
+)
+
+// RefHistBits is the reference gshare history depth for the headline
+// misprediction rate and the clustering analysis — the reproduction's
+// scaled Table 1 baseline (see DESIGN.md).
+const RefHistBits = 11
+
+// HistDepths is the history-depth response curve's x axis: gshare history
+// lengths swept in one streaming pass.
+var HistDepths = []int{1, 2, 4, 6, 8, 11, 14}
+
+// clusterWindow is the look-back distance (in conditional branches) of the
+// misprediction-clustering test: a misprediction is "clustered" when at
+// least one of the preceding clusterWindow conditional branches also
+// mispredicted.
+const clusterWindow = 4
+
+// Taxonomy classes, in the spirit of "Workload Characterization for Branch
+// Predictability": where a workload's mispredictions come from and how
+// they arrive.
+const (
+	// ClassPredictable: almost everything is learnable; mispredictions are
+	// too rare to have structure (vortex-like).
+	ClassPredictable = "predictable"
+	// ClassClustered: mispredictions arrive in bursts — the paper's go-like
+	// end of the Figure 8 spectrum, where JRS confidence PVN is high.
+	ClassClustered = "clustered"
+	// ClassIsolated: mispredictions arrive alone, surrounded by correctly
+	// predicted branches — the m88ksim-like end, the paper's PVN anomaly.
+	ClassIsolated = "isolated"
+	// ClassMixed: between the two ends.
+	ClassMixed = "mixed"
+)
+
+// HistPoint is one point of the history-depth response curve.
+type HistPoint struct {
+	Bits int     `json:"bits"`
+	Rate float64 `json:"rate"`
+}
+
+// BiasBins is the number of per-PC bias-magnitude histogram bins, covering
+// magnitude [0.5, 1.0] in equal steps.
+const BiasBins = 10
+
+// Characterization is the predictability profile of a branch trace.
+type Characterization struct {
+	// Digest is the trace's content digest (sha256 of the canonical record
+	// stream); the identity under which synthesized workloads are named.
+	Digest string `json:"digest"`
+	Source string `json:"source,omitempty"`
+
+	Records   uint64  `json:"records"`
+	Cond      uint64  `json:"cond_branches"`
+	Indirect  uint64  `json:"indirect_jumps"`
+	Sites     int     `json:"static_sites"`
+	TakenRate float64 `json:"taken_rate"`
+
+	// BiasHist is the dynamic-execution-weighted share of conditional
+	// branches by per-PC bias magnitude: bin i covers max(p,1-p) in
+	// [0.5+i/20, 0.5+(i+1)/20).
+	BiasHist [BiasBins]float64 `json:"bias_hist"`
+	// MeanBias is the dynamic-weighted mean per-PC bias magnitude.
+	MeanBias float64 `json:"mean_bias"`
+
+	// HistCurve is the gshare misprediction rate at each history depth of
+	// HistDepths — the history-depth response.
+	HistCurve []HistPoint `json:"hist_curve"`
+	// Rate is the misprediction rate at RefHistBits (the headline number,
+	// directly comparable to Table 1).
+	Rate float64 `json:"rate"`
+
+	// NeighborProb is the observed probability that a misprediction at
+	// RefHistBits has another misprediction within the preceding
+	// clusterWindow conditional branches — the absolute clustering density.
+	NeighborProb float64 `json:"neighbor_prob"`
+	// ClusterScore normalizes NeighborProb by what an independent
+	// (Bernoulli) misprediction stream of the same rate would show:
+	// ~1 = independent arrivals, >1 = clustered beyond rate, <1 =
+	// anti-clustered.
+	ClusterScore float64 `json:"cluster_score"`
+	// RunLenMean is the mean length of consecutive-misprediction runs.
+	RunLenMean float64 `json:"run_len_mean"`
+
+	// Placement is the workload's position on the paper's Figure 8
+	// clustered-vs-isolated misprediction spectrum: 0 = fully isolated
+	// (m88ksim-like: mispredictions arrive alone amid correct predictions,
+	// low JRS PVN), 1 = fully clustered (go-like: a misprediction is
+	// usually near another, high JRS PVN). This is NeighborProb clamped to
+	// [0,1] — the paper's spectrum tracks how densely mispredictions pack,
+	// which is what makes JRS confidence informative.
+	Placement float64 `json:"placement"`
+	// Class is the taxonomy class: predictable, clustered, isolated, mixed.
+	Class string `json:"class"`
+
+	// c retains the finished characterizer so per-site diagnostics
+	// (TopSites) stay available after the one-pass profile closes.
+	c *Characterizer
+}
+
+// siteStat accumulates one static conditional branch site.
+type siteStat struct {
+	count uint64
+	taken uint64
+}
+
+// warmupBranches is how many conditional branches the clustering
+// statistics skip while the reference predictor trains: cold-start
+// mispredictions are dense regardless of the workload's steady-state
+// character and would read as spurious clustering. (4× the reference
+// table's 2048 counters.)
+const warmupBranches = 8192
+
+// clusterAcc accumulates misprediction-arrival statistics over one span
+// of the trace.
+type clusterAcc struct {
+	recent    uint64 // bitmask of the last clusterWindow mispredict flags
+	seen      uint64 // cond branches folded in (primes the window)
+	miss      uint64
+	clustered uint64 // mispredicts with a mispredict in the window
+	den       uint64 // mispredicts with a fully-primed window
+	runLen    uint64
+	runSum    uint64
+	runCount  uint64
+}
+
+func (a *clusterAcc) add(mispredict bool) {
+	if mispredict {
+		a.miss++
+		if a.seen >= clusterWindow {
+			a.den++
+			if a.recent&((1<<clusterWindow)-1) != 0 {
+				a.clustered++
+			}
+		}
+		a.recent = a.recent<<1 | 1
+		a.runLen++
+	} else {
+		a.recent <<= 1
+		if a.runLen > 0 {
+			a.runSum += a.runLen
+			a.runCount++
+			a.runLen = 0
+		}
+	}
+	a.seen++
+}
+
+func (a *clusterAcc) finish() {
+	if a.runLen > 0 { // span ended mid-run
+		a.runSum += a.runLen
+		a.runCount++
+		a.runLen = 0
+	}
+}
+
+// Characterizer is the streaming trace profiler: feed records with Add,
+// then Finish. One pass, O(static sites) memory.
+type Characterizer struct {
+	source string
+
+	records  uint64
+	cond     uint64
+	indirect uint64
+	taken    uint64
+	sites    map[uint64]*siteStat
+
+	preds  []*bpred.Gshare
+	hists  []uint64
+	misses []uint64
+
+	// clustering at RefHistBits: all holds the whole trace, warm the
+	// post-warmup steady state (preferred when populated).
+	refIdx int
+	all    clusterAcc
+	warm   clusterAcc
+}
+
+// NewCharacterizer creates a streaming characterizer. source labels the
+// output (use the trace header's Source).
+func NewCharacterizer(source string) *Characterizer {
+	c := &Characterizer{
+		source: source,
+		sites:  make(map[uint64]*siteStat),
+		preds:  make([]*bpred.Gshare, len(HistDepths)),
+		hists:  make([]uint64, len(HistDepths)),
+		misses: make([]uint64, len(HistDepths)),
+		refIdx: -1,
+	}
+	for i, bits := range HistDepths {
+		c.preds[i] = bpred.NewGshare(bits)
+		if bits == RefHistBits {
+			c.refIdx = i
+		}
+	}
+	if c.refIdx < 0 {
+		panic("btrace: HistDepths must include RefHistBits")
+	}
+	return c
+}
+
+// Add feeds one record.
+func (c *Characterizer) Add(r Record) {
+	c.records++
+	if r.Indirect {
+		c.indirect++
+		return
+	}
+	c.cond++
+	if r.Taken {
+		c.taken++
+	}
+	s := c.sites[r.PC]
+	if s == nil {
+		s = &siteStat{}
+		c.sites[r.PC] = s
+	}
+	s.count++
+	if r.Taken {
+		s.taken++
+	}
+	for i, g := range c.preds {
+		pred := g.Predict(int(r.PC), c.hists[i])
+		mispredict := pred != r.Taken
+		if mispredict {
+			c.misses[i]++
+		}
+		if i == c.refIdx {
+			c.all.add(mispredict)
+			if c.all.seen > warmupBranches {
+				c.warm.add(mispredict)
+			}
+		}
+		g.Update(int(r.PC), c.hists[i], r.Taken)
+		c.hists[i] = bpred.PushHistory(c.hists[i], r.Taken)
+	}
+}
+
+// Finish closes the pass and computes the profile. digest is the trace
+// content digest (Reader.Digest / Writer.Digest).
+func (c *Characterizer) Finish(digest string) *Characterization {
+	ch := &Characterization{
+		Digest:   digest,
+		Source:   c.source,
+		Records:  c.records,
+		Cond:     c.cond,
+		Indirect: c.indirect,
+		Sites:    len(c.sites),
+	}
+	c.all.finish()
+	c.warm.finish()
+	if c.cond == 0 {
+		ch.Class = ClassPredictable
+		ch.c = c
+		return ch
+	}
+	ch.TakenRate = float64(c.taken) / float64(c.cond)
+
+	var biasSum float64
+	for _, s := range c.sites {
+		p := float64(s.taken) / float64(s.count)
+		mag := math.Max(p, 1-p)
+		bin := int((mag - 0.5) * 2 * BiasBins)
+		if bin >= BiasBins {
+			bin = BiasBins - 1
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		w := float64(s.count) / float64(c.cond)
+		ch.BiasHist[bin] += w
+		biasSum += mag * w
+	}
+	ch.MeanBias = biasSum
+
+	ch.HistCurve = make([]HistPoint, len(HistDepths))
+	for i, bits := range HistDepths {
+		ch.HistCurve[i] = HistPoint{Bits: bits, Rate: float64(c.misses[i]) / float64(c.cond)}
+	}
+	ch.Rate = ch.HistCurve[c.refIdx].Rate
+
+	// Prefer steady-state (post-warmup) clustering statistics; fall back
+	// to the whole trace when it is too short to escape warmup.
+	acc := &c.warm
+	if acc.den < 100 {
+		acc = &c.all
+	}
+	if acc.runCount > 0 {
+		ch.RunLenMean = float64(acc.runSum) / float64(acc.runCount)
+	}
+	// Expected neighbor-miss probability under independent arrivals of the
+	// span's own rate: 1 - (1-r)^W.
+	spanRate := float64(acc.miss) / math.Max(float64(acc.seen), 1)
+	expect := 1 - math.Pow(1-spanRate, clusterWindow)
+	if acc.den > 0 {
+		ch.NeighborProb = float64(acc.clustered) / float64(acc.den)
+		if expect > 0 {
+			ch.ClusterScore = ch.NeighborProb / expect
+		}
+	}
+	ch.Placement = math.Max(0, math.Min(1, ch.NeighborProb))
+	ch.Class = classify(ch.Rate, ch.Placement)
+	ch.c = c
+	return ch
+}
+
+// classify assigns the taxonomy class from the headline rate and spectrum
+// placement.
+func classify(rate, place float64) string {
+	switch {
+	case rate < 0.025:
+		return ClassPredictable
+	case place >= 0.5:
+		return ClassClustered
+	case place <= 0.3:
+		return ClassIsolated
+	default:
+		return ClassMixed
+	}
+}
+
+// Characterize profiles an open trace reader, streaming to the end.
+func Characterize(r *Reader) (*Characterization, error) {
+	c := NewCharacterizer(r.Header().Source)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return c.Finish(r.Digest()), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.Add(rec)
+	}
+}
+
+// Render formats the characterization as the polychar report block.
+func (ch *Characterization) Render() string {
+	var b strings.Builder
+	src := ch.Source
+	if src == "" {
+		src = "(unlabelled)"
+	}
+	fmt.Fprintf(&b, "trace %s  source %s\n", shortDigest(ch.Digest), src)
+	fmt.Fprintf(&b, "records %d  cond %d  indirect %d  static sites %d  taken %.1f%%\n",
+		ch.Records, ch.Cond, ch.Indirect, ch.Sites, 100*ch.TakenRate)
+	fmt.Fprintf(&b, "gshare(%d) mispredict %.2f%%  mean bias %.3f\n", RefHistBits, 100*ch.Rate, ch.MeanBias)
+	b.WriteString("bias histogram (per-PC magnitude, dynamic-weighted):\n")
+	for i, share := range ch.BiasHist {
+		lo := 0.5 + float64(i)/(2*BiasBins)
+		hi := lo + 1.0/(2*BiasBins)
+		fmt.Fprintf(&b, "  [%.2f,%.2f) %6.1f%% %s\n", lo, hi, 100*share, bar(share, 40))
+	}
+	b.WriteString("history-depth response (gshare mispredict rate):\n")
+	for _, p := range ch.HistCurve {
+		fmt.Fprintf(&b, "  h=%-2d %6.2f%% %s\n", p.Bits, 100*p.Rate, bar(p.Rate, 40))
+	}
+	fmt.Fprintf(&b, "clustering: neighbor-prob %.2f  score %.2f  run-length mean %.2f\n",
+		ch.NeighborProb, ch.ClusterScore, ch.RunLenMean)
+	fmt.Fprintf(&b, "figure-8 placement %.2f (0=isolated, 1=clustered)  class %s\n", ch.Placement, ch.Class)
+	return b.String()
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}
+
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
+}
+
+// TopSites returns the n most-executed conditional sites with their
+// per-site bias, sorted by dynamic count descending (PC ascending on
+// ties) — diagnostic output for polychar -sites.
+func (c *Characterizer) TopSites(n int) []SiteBias {
+	out := make([]SiteBias, 0, len(c.sites))
+	for pc, s := range c.sites {
+		out = append(out, SiteBias{PC: pc, Count: s.count, TakenRate: float64(s.taken) / float64(s.count)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopSites exposes the per-site diagnostics on a finished profile.
+func (ch *Characterization) TopSites(n int) []SiteBias {
+	if ch.c == nil {
+		return nil
+	}
+	return ch.c.TopSites(n)
+}
+
+// SiteBias is one static site's dynamic profile.
+type SiteBias struct {
+	PC        uint64  `json:"pc"`
+	Count     uint64  `json:"count"`
+	TakenRate float64 `json:"taken_rate"`
+}

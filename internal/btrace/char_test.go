@@ -1,0 +1,130 @@
+package btrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feed pushes n conditional records at pc through a characterizer using
+// outcome(i) as the direction.
+func feed(c *Characterizer, pc uint64, n int, outcome func(i int) bool) {
+	for i := 0; i < n; i++ {
+		c.Add(Record{PC: pc, Taken: outcome(i)})
+	}
+}
+
+// TestCharacterizePeriodic: a strictly periodic branch is learnable —
+// near-zero rate, class predictable, all bias mass in one bin.
+func TestCharacterizePeriodic(t *testing.T) {
+	c := NewCharacterizer("unit")
+	feed(c, 64, 50_000, func(i int) bool { return i%4 != 3 }) // TNT T pattern
+	ch := c.Finish("d")
+	if ch.Class != ClassPredictable {
+		t.Fatalf("class = %s, want predictable (rate %.4f)", ch.Class, ch.Rate)
+	}
+	if ch.Rate > 0.01 {
+		t.Fatalf("periodic branch rate = %.4f", ch.Rate)
+	}
+	// Bias magnitude is 0.75 → bin [0.75, 0.80).
+	var sum float64
+	for _, share := range ch.BiasHist {
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("bias histogram sums to %v", sum)
+	}
+	if ch.BiasHist[5] < 0.99 {
+		t.Fatalf("bias mass not in [0.75,0.80): %v", ch.BiasHist)
+	}
+	if ch.TakenRate < 0.74 || ch.TakenRate > 0.76 {
+		t.Fatalf("taken rate = %v", ch.TakenRate)
+	}
+}
+
+// TestCharacterizeRandom: an unbiased random branch is unpredictable at
+// every history depth, with near-rate clustering (independent arrivals).
+func TestCharacterizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCharacterizer("unit")
+	feed(c, 64, 100_000, func(int) bool { return rng.Intn(2) == 0 })
+	ch := c.Finish("d")
+	if ch.Rate < 0.45 || ch.Rate > 0.55 {
+		t.Fatalf("coin-flip rate = %.4f, want ~0.5", ch.Rate)
+	}
+	for _, p := range ch.HistCurve {
+		if p.Rate < 0.45 {
+			t.Fatalf("history depth %d learned a coin flip: %.4f", p.Bits, p.Rate)
+		}
+	}
+	// Independent arrivals: cluster score ~1.
+	if ch.ClusterScore < 0.8 || ch.ClusterScore > 1.2 {
+		t.Fatalf("cluster score = %.2f, want ~1 for independent arrivals", ch.ClusterScore)
+	}
+	if ch.Class != ClassClustered {
+		// At 50% rate a window of 4 almost always holds a miss, so the
+		// paper's spectrum puts a coin flip at the clustered end.
+		t.Fatalf("class = %s", ch.Class)
+	}
+}
+
+// TestCharacterizeIsolated: rare, independent mispredictions from a
+// heavily biased site land at the isolated end of the spectrum.
+func TestCharacterizeIsolated(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewCharacterizer("unit")
+	feed(c, 64, 200_000, func(int) bool { return rng.Float64() < 0.95 })
+	ch := c.Finish("d")
+	if ch.Rate < 0.03 || ch.Rate > 0.08 {
+		t.Fatalf("rate = %.4f, want ~0.05", ch.Rate)
+	}
+	if ch.Class != ClassIsolated {
+		t.Fatalf("class = %s (placement %.2f), want isolated", ch.Class, ch.Placement)
+	}
+	if ch.Placement > 0.3 {
+		t.Fatalf("placement = %.2f", ch.Placement)
+	}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	c := NewCharacterizer("unit")
+	ch := c.Finish("d")
+	if ch.Class != ClassPredictable || ch.Records != 0 {
+		t.Fatalf("empty profile = %+v", ch)
+	}
+	if s := ch.Render(); s == "" {
+		t.Fatal("Render of empty profile is empty")
+	}
+}
+
+// TestIndirectRecordsCounted: indirect jumps count in Records/Indirect
+// but do not touch the conditional statistics.
+func TestIndirectRecordsCounted(t *testing.T) {
+	c := NewCharacterizer("unit")
+	for i := 0; i < 1000; i++ {
+		c.Add(Record{PC: 32, Indirect: true, Target: uint64(i % 7)})
+	}
+	feed(c, 64, 1000, func(i int) bool { return true })
+	ch := c.Finish("d")
+	if ch.Records != 2000 || ch.Indirect != 1000 || ch.Cond != 1000 {
+		t.Fatalf("records=%d indirect=%d cond=%d", ch.Records, ch.Indirect, ch.Cond)
+	}
+	if ch.Sites != 1 {
+		t.Fatalf("static sites = %d, want 1 (conditional only)", ch.Sites)
+	}
+}
+
+func TestTopSites(t *testing.T) {
+	c := NewCharacterizer("unit")
+	feed(c, 10, 500, func(int) bool { return true })
+	feed(c, 20, 1500, func(i int) bool { return i%2 == 0 })
+	feed(c, 30, 1000, func(int) bool { return false })
+	ch := c.Finish("d")
+	top := ch.TopSites(2)
+	if len(top) != 2 || top[0].PC != 20 || top[1].PC != 30 {
+		t.Fatalf("TopSites = %+v", top)
+	}
+	if top[0].Count != 1500 || math.Abs(top[0].TakenRate-0.5) > 1e-9 {
+		t.Fatalf("site stats = %+v", top[0])
+	}
+}

@@ -1,0 +1,65 @@
+package btrace
+
+import (
+	"io"
+
+	"repro/internal/isa"
+)
+
+// ExportProgram functionally executes p (up to maxInsts dynamic
+// instructions) and streams its branch trace into w, record by record —
+// the trace is never materialized in memory. The caller owns w (and must
+// Close it to flush the final block).
+func ExportProgram(w *Writer, p *isa.Program, maxInsts uint64) error {
+	_, err := isa.TraceStream(p, maxInsts, func(r isa.BranchRecord) error {
+		return w.Write(Record{
+			PC:       uint64(uint32(r.PC)),
+			Taken:    r.Taken,
+			Indirect: r.Indirect,
+			Target:   uint64(uint32(r.Target)),
+		})
+	})
+	return err
+}
+
+// WriteProgramTrace exports p's branch trace to sink as a complete PBT1
+// stream (gzip-compressed when gz is set) and returns the record count
+// and content digest.
+func WriteProgramTrace(sink io.Writer, p *isa.Program, maxInsts uint64, source string, gz bool) (uint64, string, error) {
+	opts := []WriterOption{WithSource(source)}
+	if gz {
+		opts = append(opts, WithGzip())
+	}
+	w := NewWriter(sink, opts...)
+	if err := ExportProgram(w, p, maxInsts); err != nil {
+		return 0, "", err
+	}
+	if err := w.Close(); err != nil {
+		return 0, "", err
+	}
+	return w.Count(), w.Digest(), nil
+}
+
+// CharacterizeProgram profiles a program's branch behaviour directly
+// (no trace file round trip): one streaming functional execution feeding
+// the characterizer and the digest hash, so the digest is identical to
+// what exporting + importing the trace would produce.
+func CharacterizeProgram(p *isa.Program, maxInsts uint64, source string) (*Characterization, error) {
+	c := NewCharacterizer(source)
+	d := newDigester()
+	_, err := isa.TraceStream(p, maxInsts, func(r isa.BranchRecord) error {
+		rec := Record{
+			PC:       uint64(uint32(r.PC)),
+			Taken:    r.Taken,
+			Indirect: r.Indirect,
+			Target:   uint64(uint32(r.Target)),
+		}
+		c.Add(rec)
+		d.add(rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.Finish(d.sum()), nil
+}

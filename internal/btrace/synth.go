@@ -1,0 +1,231 @@
+package btrace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// synthSites is the static conditional-site budget of a synthesized
+// program: the trace's dynamic-weighted bias histogram is quantized onto
+// this many generator branch sites.
+const synthSites = 10
+
+// calMaxInsts caps the dynamic length of each calibration measurement so
+// the closed loop stays fast even for long synthesis targets; gshare
+// rates for these generators converge well before this.
+const calMaxInsts = 250_000
+
+// SynthName returns the canonical name of a workload synthesized from the
+// trace with the given content digest: "trace-" + the first 12 digest hex
+// digits. The name is content-addressed, so the harness cell-key and
+// polyserve result-store stories are unchanged for trace-derived cells.
+func SynthName(digest string) string {
+	return "trace-" + shortDigest(digest)
+}
+
+// Synthesize converts a trace characterization into a calibrated
+// generator spec: the bias histogram becomes Bernoulli/pattern/loop
+// branch sites (high-magnitude mass becomes learnable structure, the rest
+// stays data-driven), and a closed calibration loop against the gshare
+// instrument scales the Bernoulli biases until the generated program's
+// misprediction rate at RefHistBits matches the trace's within tolerance.
+//
+// The benchmark is deterministic in the characterization: name and seed
+// derive from the content digest. On an unreachable target the returned
+// error wraps *workload.CalibrationError and the returned benchmark is
+// the best candidate found — callers (polychar) surface the error but can
+// still inspect the near-miss.
+func Synthesize(ch *Characterization, targetInsts uint64) (workload.Benchmark, error) {
+	if targetInsts == 0 {
+		targetInsts = workload.DefaultTargetInsts
+	}
+	if ch.Digest == "" {
+		return workload.Benchmark{}, fmt.Errorf("btrace: synthesize: characterization has no digest")
+	}
+	build := func(alpha float64) workload.Spec {
+		spec := workload.Spec{
+			Name:        SynthName(ch.Digest),
+			Seed:        seedFromDigest(ch.Digest),
+			TargetInsts: targetInsts,
+			Branches:    branchesFromHist(ch, alpha),
+			BlockLen:    8,
+			Chains:      6,
+			LoadFrac:    0.20, StoreFrac: 0.08, MulFrac: 0.02,
+			// Clustered traces (go-like) come from chains of data-dependent
+			// predicates; give their stand-ins deeper predicate resolution.
+			PredDepth: 4,
+		}
+		if ch.Placement >= 0.5 {
+			spec.PredDepth = 8
+		}
+		return spec
+	}
+
+	// The structured fraction alpha is an estimate; history-window
+	// dilution and quantization shift the real achievable range, so when
+	// the inner calibration loop reports the target unreachable, trade
+	// structure for randomness (or back) and retry.
+	alpha := structuredFraction(ch)
+	var bench workload.Benchmark
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		spec := build(alpha)
+		if err := workload.CheckSpec(spec); err != nil {
+			return workload.Benchmark{}, fmt.Errorf("btrace: synthesize: %w", err)
+		}
+		cal, rate, err := workload.CalibrateBias(spec, ch.Rate, RefHistBits, calMaxInsts, 0.05)
+		bench = workload.Benchmark{Spec: cal, PaperMispredict: rate}
+		if err == nil {
+			return bench, nil
+		}
+		var ce *workload.CalibrationError
+		if !errors.As(err, &ce) {
+			return workload.Benchmark{}, fmt.Errorf("btrace: synthesize %s: %w", spec.Name, err)
+		}
+		lastErr = fmt.Errorf("btrace: synthesize %s: %w", spec.Name, err)
+		switch {
+		case ch.Rate > ce.Hi && alpha > 0:
+			alpha = math.Max(0, alpha-0.34)
+		case ch.Rate < ce.Lo && alpha < 1:
+			alpha = math.Min(1, alpha+0.34)
+		default:
+			return bench, lastErr
+		}
+	}
+	return bench, lastErr
+}
+
+// structuredFraction estimates what share of the high-bias (magnitude ≥
+// 0.80) histogram mass is learnable structure rather than skewed
+// randomness: purely random sites of magnitude m mispredict at ≈ 1-m, so
+// the gap between that prediction and the observed rate is mass that a
+// predictor actually learned.
+func structuredFraction(ch *Characterization) float64 {
+	var lowRand, highRand float64
+	for i, share := range ch.BiasHist {
+		mag := 0.5 + (float64(i)+0.5)/(2*BiasBins)
+		if mag >= 0.80 {
+			highRand += share * (1 - mag)
+		} else {
+			lowRand += share * (1 - mag)
+		}
+	}
+	if highRand <= 0 {
+		return 0
+	}
+	return math.Max(0, math.Min(1, (lowRand+highRand-ch.Rate)/highRand))
+}
+
+// seedFromDigest derives a deterministic generator seed from the first 15
+// hex digits of the content digest.
+func seedFromDigest(digest string) int64 {
+	n := len(digest)
+	if n > 15 {
+		n = 15
+	}
+	v, err := strconv.ParseInt(digest[:n], 16, 64)
+	if err != nil || v == 0 {
+		return 1
+	}
+	return v
+}
+
+// branchesFromHist quantizes the dynamic-weighted bias histogram onto
+// synthSites generator branch sites.
+//
+// The key decision is whether high-bias histogram mass is *structure*
+// (loop back edges and periodic predicates — learnable, near-zero
+// misprediction) or *skewed randomness* (m88ksim-style biased data
+// branches — gshare is stuck at the minority rate). Per-PC bias alone
+// cannot distinguish them; alpha (from structuredFraction, possibly
+// adjusted by Synthesize's retry loop) is the fraction of each high-bias
+// bin's sites that become structure — counted loops, or, when the trace
+// shows a strong history-depth response, periodic pattern branches. The
+// rest stays Bernoulli at the bin magnitude, signed by the trace's
+// overall taken rate, for the closed calibration loop to scale.
+func branchesFromHist(ch *Characterization, alpha float64) []workload.BranchSpec {
+	// History sensitivity: how much deepening history from 2 bits to the
+	// reference depth improves predictability — structure that needs
+	// history is pattern-shaped rather than loop-shaped.
+	var shallow float64
+	for _, p := range ch.HistCurve {
+		if p.Bits == 2 {
+			shallow = p.Rate
+		}
+	}
+	histSensitive := shallow > 0 && (shallow-ch.Rate)/shallow > 0.30
+
+	var out []workload.BranchSpec
+	patterns := 0
+	for i, share := range ch.BiasHist {
+		n := int(math.Round(share * synthSites))
+		if n == 0 {
+			continue
+		}
+		mag := 0.5 + (float64(i)+0.5)/(2*BiasBins) // bin center
+		nStruct := int(math.Round(alpha * float64(n)))
+		for k := 0; k < n; k++ {
+			if mag >= 0.80 && k < nStruct {
+				if histSensitive && patterns < 4 && mag < 0.94 {
+					period := clampInt(int(math.Round(1/(1-mag))), 2, 16)
+					out = append(out, workload.BranchSpec{Kind: workload.KindPattern, Period: period})
+					patterns++
+				} else {
+					trip := clampInt(int(math.Round(1/(1-mag))), 2, 64)
+					out = append(out, workload.BranchSpec{Kind: workload.KindLoop, Trip: trip})
+				}
+				continue
+			}
+			bias := mag
+			if bias > 0.995 {
+				bias = 0.995
+			}
+			if ch.TakenRate < 0.5 {
+				bias = 1 - bias
+			}
+			out = append(out, workload.BranchSpec{Kind: workload.KindBernoulli, Bias: bias})
+		}
+	}
+	if len(out) == 0 {
+		// Degenerate histogram (e.g. a branchless trace): one learnable
+		// long loop keeps the spec valid with a near-zero rate.
+		out = []workload.BranchSpec{{Kind: workload.KindLoop, Trip: 64}}
+	}
+	if ch.Rate >= 0.005 {
+		// Calibration needs a knob: if the quantizer allocated only
+		// structured sites (their small random mass rounded away), give it
+		// Bernoulli sites to scale, or the target rate is unreachable.
+		hasBern := false
+		for _, b := range out {
+			if b.Kind == workload.KindBernoulli {
+				hasBern = true
+				break
+			}
+		}
+		if !hasBern {
+			// One site only: even a near-constant extra branch dilutes the
+			// finite history window and degrades the structured sites, so
+			// the knob must stay as small as possible.
+			bias := 0.75
+			if ch.TakenRate < 0.5 {
+				bias = 0.25
+			}
+			out = append(out, workload.BranchSpec{Kind: workload.KindBernoulli, Bias: bias})
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btrace"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// CharRow is one workload's predictability profile in the Figure 8
+// placement table.
+type CharRow struct {
+	Name         string  `json:"name"`
+	Digest       string  `json:"digest"`
+	Rate         float64 `json:"rate"`
+	MeanBias     float64 `json:"mean_bias"`
+	NeighborProb float64 `json:"neighbor_prob"`
+	ClusterScore float64 `json:"cluster_score"`
+	Placement    float64 `json:"placement"`
+	Class        string  `json:"class"`
+}
+
+// CharResult is the fig8-char experiment output: every workload family
+// characterized and placed on the paper's Figure 8 clustered-vs-isolated
+// misprediction spectrum.
+type CharResult struct {
+	Insts uint64    `json:"insts"`
+	Rows  []CharRow `json:"rows"`
+}
+
+// CharTable runs the fig8-char experiment: each workload family (the
+// Table 1 suite, the extended families, plus any Options.Extra
+// trace-derived workloads — or exactly Options.Benchmarks when set) is
+// generated and profiled by the btrace characterizer, and placed on the
+// Figure 8 spectrum. Characterization is functional (interpreter-driven),
+// deterministic, and sharded across Options.Parallelism workers with the
+// same byte-identical-output contract as the simulation experiments.
+func CharTable(o Options) (*CharResult, error) {
+	insts := o.TargetInsts
+	if insts == 0 {
+		insts = workload.DefaultTargetInsts
+	}
+	names := o.Benchmarks
+	if len(names) == 0 {
+		names = append(workload.Names(), extendedNames()...)
+		for _, b := range o.Extra {
+			names = append(names, b.Spec.Name)
+		}
+	}
+	rows, err := sched.Map(
+		sched.Options{Workers: o.parallelism(), Context: o.context()},
+		names,
+		func(name string, _ int) string { return "char/" + name },
+		func(tc *sched.TaskContext, name string) (CharRow, error) {
+			bm, err := o.lookup(name)
+			if err != nil {
+				return CharRow{}, err
+			}
+			p, err := workload.Generate(bm.Spec)
+			if err != nil {
+				return CharRow{}, fmt.Errorf("%s: %w", name, err)
+			}
+			ch, err := btrace.CharacterizeProgram(p, insts, name)
+			if err != nil {
+				return CharRow{}, fmt.Errorf("%s: %w", name, err)
+			}
+			return CharRow{
+				Name:         name,
+				Digest:       ch.Digest[:12],
+				Rate:         ch.Rate,
+				MeanBias:     ch.MeanBias,
+				NeighborProb: ch.NeighborProb,
+				ClusterScore: ch.ClusterScore,
+				Placement:    ch.Placement,
+				Class:        ch.Class,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &CharResult{Insts: insts}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.Value)
+	}
+	return res, nil
+}
+
+func extendedNames() []string {
+	var names []string
+	for _, b := range workload.Extended(1) {
+		names = append(names, b.Spec.Name)
+	}
+	return names
+}
+
+// Render formats the placement table in the paper's presentation style.
+func (r *CharResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 placement: workload characterization (%d insts, gshare %d-bit)\n",
+		r.Insts, btrace.RefHistBits)
+	fmt.Fprintf(&b, "%-16s %12s %9s %9s %9s %9s %11s  %s\n",
+		"workload", "digest", "mispred", "bias", "neighbor", "cluster", "placement", "class")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %12s %8.2f%% %9.3f %9.3f %9.2f %11.2f  %s\n",
+			row.Name, row.Digest, 100*row.Rate, row.MeanBias,
+			row.NeighborProb, row.ClusterScore, row.Placement, row.Class)
+	}
+	b.WriteString("placement: 0 = isolated mispredictions (m88ksim-like), 1 = clustered (go-like)\n")
+	return b.String()
+}

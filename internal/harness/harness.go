@@ -101,8 +101,16 @@ type Options struct {
 	TargetInsts uint64
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
-	// Benchmarks restricts the suite to the named benchmarks (empty = all).
+	// Benchmarks restricts the suite to the named benchmarks (empty = the
+	// Table 1 suite plus any Extra workloads). Names resolve against Extra
+	// first, then the workload registry (suite, extended families, runtime
+	// registrations).
 	Benchmarks []string
+	// Extra supplies job-scoped workloads — typically trace-derived specs
+	// named trace-<digest> — resolvable by name for this run only, without
+	// touching the process-global workload registry. polyserve jobs wire
+	// their inline workload specs here.
+	Extra []workload.Benchmark
 	// Replicates re-runs every (benchmark, config) cell with additional
 	// workload seeds and averages the IPC, tightening the estimates at a
 	// proportional simulation cost (0 or 1 = single run, the default).
@@ -170,17 +178,42 @@ func (o Options) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// lookup resolves a benchmark name: job-scoped Extra workloads first, then
+// the workload registry (suite, extended families, runtime registrations).
+func (o Options) lookup(name string) (workload.Benchmark, error) {
+	for _, b := range o.Extra {
+		if b.Spec.Name != name {
+			continue
+		}
+		if o.TargetInsts != 0 {
+			b.Spec.TargetInsts = o.TargetInsts
+		} else if b.Spec.TargetInsts == 0 {
+			b.Spec.TargetInsts = workload.DefaultTargetInsts
+		}
+		return b, nil
+	}
+	return workload.ByName(name, o.TargetInsts)
+}
+
 // suite materializes the benchmark programs once; they are reused across
 // all configurations of an experiment.
 // suite returns one generated program per (benchmark, replicate).
 func (o Options) suite() ([]workload.Benchmark, [][]*isa.Program, error) {
-	all := workload.Suite(o.TargetInsts)
 	var bms []workload.Benchmark
 	if len(o.Benchmarks) == 0 {
-		bms = all
+		// Default matrix: the Table 1 suite (byte-identical to the
+		// pre-Extra behaviour) plus any job-scoped workloads.
+		bms = workload.Suite(o.TargetInsts)
+		for _, b := range o.Extra {
+			extra, err := o.lookup(b.Spec.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			bms = append(bms, extra)
+		}
 	} else {
 		for _, name := range o.Benchmarks {
-			bm, err := workload.ByName(name, o.TargetInsts)
+			bm, err := o.lookup(name)
 			if err != nil {
 				return nil, nil, err
 			}

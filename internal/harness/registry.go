@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{"table1", func(o Options) (Renderable, error) { return Table1(o) }},
 		{"fig8", func(o Options) (Renderable, error) { return Figure8(o) }},
+		{"fig8-char", func(o Options) (Renderable, error) { return CharTable(o) }},
 		{"fig9", wrap(Figure9)},
 		{"fig9-tage", wrap(Figure9TAGE)},
 		{"fig10", wrap(Figure10)},

@@ -191,20 +191,41 @@ type BranchRecord struct {
 // the substrate for the paper's "oracle" branch predictor and "oracle"
 // (perfect) confidence estimator.
 func Trace(p *Program, maxInsts uint64) ([]BranchRecord, *Interp, error) {
-	it := NewInterp(p)
 	var recs []BranchRecord
+	it, err := TraceStream(p, maxInsts, func(r BranchRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return recs, it, nil
+}
+
+// TraceStream is Trace without the in-memory record slice: fn is called for
+// each control-flow decision in program order. A non-nil error from fn
+// stops execution and is returned verbatim. This is the substrate for
+// exporting arbitrarily long branch traces (btrace) in constant memory.
+func TraceStream(p *Program, maxInsts uint64, fn func(BranchRecord) error) (*Interp, error) {
+	it := NewInterp(p)
 	for !it.Halted && it.InstCount < maxInsts {
 		pc := it.PC
 		op := p.Code[pc].Op
 		if err := it.Step(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		var rec BranchRecord
 		switch {
 		case op.IsCondBranch():
-			recs = append(recs, BranchRecord{PC: int32(pc), Taken: it.PC == int(p.Code[pc].Target)})
+			rec = BranchRecord{PC: int32(pc), Taken: it.PC == int(p.Code[pc].Target)}
 		case op == Jri || op == Ret:
-			recs = append(recs, BranchRecord{PC: int32(pc), Indirect: true, Target: int32(it.PC)})
+			rec = BranchRecord{PC: int32(pc), Indirect: true, Target: int32(it.PC)}
+		default:
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return nil, err
 		}
 	}
-	return recs, it, nil
+	return it, nil
 }

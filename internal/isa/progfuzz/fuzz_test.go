@@ -101,6 +101,12 @@ func FuzzPipelineVsInterp(f *testing.F) {
 	f.Add(int64(20260705), uint64(0))
 	f.Add(int64(-7777), uint64(160))
 	f.Add(int64(424242), uint64(97))
+	// Trace-derived seeds: the btrace content digests of the ptrchase and
+	// interp-dispatch reference traces (seed = ParseInt(digest[:15], 16),
+	// n = the trace's record count), so the fuzzer starts from program
+	// shapes the trace-synthesis pipeline actually produces.
+	f.Add(int64(896085974340049954), uint64(17820))
+	f.Add(int64(404520380316132651), uint64(28280))
 	f.Fuzz(func(t *testing.T, seed int64, n uint64) {
 		prog := progfuzz.FromSeed(seed, n)
 		if err := prog.Validate(); err != nil {

@@ -54,6 +54,11 @@ type CellRequest struct {
 	// Audit, when non-empty, runs the cell under the named invariant-audit
 	// level (results are bit-identical with auditing on or off).
 	Audit string `json:"audit,omitempty"`
+	// Spec inlines the full workload spec for job-scoped workloads
+	// (trace-derived stand-ins) that no worker can resolve by name. When
+	// present its Name must equal Benchmark; when absent the worker
+	// resolves Benchmark through the registry as before.
+	Spec *workload.Spec `json:"spec,omitempty"`
 }
 
 // CellResponse is the 200 body of POST /v1/cells.
@@ -188,11 +193,25 @@ func (s *Server) runCellContained(ctx context.Context, req CellRequest) (resp Ce
 	if s.cfg.MaxInsts > 0 && req.Insts > s.cfg.MaxInsts {
 		return resp, fmt.Errorf("insts %d exceeds the node cap %d", req.Insts, s.cfg.MaxInsts), ""
 	}
-	bm, err := workload.ByName(req.Benchmark, req.Insts)
-	if err != nil {
-		return resp, err, ""
+	var spec workload.Spec
+	if req.Spec != nil {
+		if req.Spec.Name != req.Benchmark {
+			return resp, fmt.Errorf("inline spec name %q does not match benchmark %q", req.Spec.Name, req.Benchmark), ""
+		}
+		spec = *req.Spec
+		if spec.TargetInsts == 0 {
+			spec.TargetInsts = req.Insts
+		}
+		if err := workload.CheckSpec(spec); err != nil {
+			return resp, err, ""
+		}
+	} else {
+		bm, err := workload.ByName(req.Benchmark, req.Insts)
+		if err != nil {
+			return resp, err, ""
+		}
+		spec = bm.Spec
 	}
-	spec := bm.Spec
 	spec.Seed = req.Seed
 	if req.Insts > 0 {
 		spec.TargetInsts = req.Insts

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/pipeline"
+	"repro/internal/workload"
 )
 
 // dispatch.go is the coordinator's cell executor: it is wired in as
@@ -126,6 +127,12 @@ func (s *Server) execRemote(ctx context.Context, cell harness.CellSpec) (harness
 		Replicate:  cell.Replicate,
 		Config:     blob,
 		ConfigHash: cell.ConfigHash,
+	}
+	if _, err := workload.ByName(cell.Benchmark, 0); err != nil {
+		// Job-scoped workload (trace-derived stand-in): no worker can
+		// resolve the name, so the already-resolved spec travels inline.
+		spec := cell.Spec
+		req.Spec = &spec
 	}
 	if s.cfg.Audit != pipeline.AuditOff {
 		req.Audit = s.cfg.Audit.String()

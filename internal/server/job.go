@@ -47,8 +47,18 @@ type JobRequest struct {
 	// Insts is the dynamic instruction count per benchmark run
 	// (0 = the default 400k).
 	Insts uint64 `json:"insts,omitempty"`
-	// Benchmarks restricts the suite (empty = all eight).
+	// Benchmarks restricts the suite (empty = all eight plus any
+	// Workloads entries).
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Workloads carries inline workload specs scoped to this job — the
+	// trace-derived stand-ins that polychar synthesizes ("trace-<digest>")
+	// travel here, so a fleet can sweep a trace-backed workload without
+	// any worker-side registration. Names must not collide with the
+	// built-in families; the specs join the suite (and may be referenced
+	// from Benchmarks). Cell identity is unchanged: a trace-derived
+	// workload's name carries its content digest, so the result store
+	// stays content-addressed.
+	Workloads []workload.Spec `json:"workloads,omitempty"`
 	// Replicates averages extra workload seeds per cell (0/1 = single).
 	Replicates int `json:"replicates,omitempty"`
 	// TimeoutSec caps the job's wall time (0 = server default).
@@ -109,6 +119,19 @@ type Job struct {
 	seq uint64
 }
 
+// extra converts the inline workload specs into the harness's job-scoped
+// benchmark list (Options.Extra).
+func (r JobRequest) extra() []workload.Benchmark {
+	if len(r.Workloads) == 0 {
+		return nil
+	}
+	out := make([]workload.Benchmark, len(r.Workloads))
+	for i, spec := range r.Workloads {
+		out[i] = workload.Benchmark{Spec: spec}
+	}
+	return out
+}
+
 // title returns the rendered-table title of a custom sweep.
 func (r JobRequest) title() string {
 	if r.Title != "" {
@@ -142,7 +165,32 @@ func (r JobRequest) resolve(maxInsts uint64) ([]harness.NamedConfig, error) {
 	if r.TraceLimit > 0 && !r.Trace {
 		return nil, fmt.Errorf("trace_limit requires \"trace\": true")
 	}
+	if len(r.Workloads) > 16 {
+		return nil, fmt.Errorf("%d inline workloads exceed the 16-spec bound", len(r.Workloads))
+	}
+	inline := make(map[string]bool, len(r.Workloads))
+	for i, spec := range r.Workloads {
+		// TargetInsts 0 means "the job's Insts (or the default)" — the
+		// harness applies that override at lookup time.
+		c := spec
+		if c.TargetInsts == 0 {
+			c.TargetInsts = workload.DefaultTargetInsts
+		}
+		if err := workload.CheckSpec(c); err != nil {
+			return nil, fmt.Errorf("workloads[%d]: %w", i, err)
+		}
+		if inline[spec.Name] {
+			return nil, fmt.Errorf("workloads[%d]: duplicate name %q", i, spec.Name)
+		}
+		if _, err := workload.ByName(spec.Name, 0); err == nil {
+			return nil, fmt.Errorf("workloads[%d]: name %q collides with a registered workload", i, spec.Name)
+		}
+		inline[spec.Name] = true
+	}
 	for _, b := range r.Benchmarks {
+		if inline[b] {
+			continue
+		}
 		if _, err := workload.ByName(b, 0); err != nil {
 			return nil, err
 		}

@@ -555,6 +555,7 @@ func (s *Server) runJob(j *Job) {
 	opts := harness.Options{
 		TargetInsts: j.Request.Insts,
 		Benchmarks:  j.Request.Benchmarks,
+		Extra:       j.Request.extra(),
 		Replicates:  j.Request.Replicates,
 		Parallelism: s.cfg.SimParallelism,
 		Context:     ctx,

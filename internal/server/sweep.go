@@ -35,8 +35,13 @@ type SweepRequest struct {
 	// Insts is the dynamic instruction count per benchmark run
 	// (0 = the default 400k).
 	Insts uint64 `json:"insts,omitempty"`
-	// Benchmarks restricts the suite (empty = all eight).
+	// Benchmarks restricts the suite (empty = all eight plus any
+	// Workloads entries).
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Workloads carries inline workload specs scoped to this sweep (see
+	// JobRequest.Workloads) — how a trace-derived stand-in is swept across
+	// the fleet.
+	Workloads []workload.Spec `json:"workloads,omitempty"`
 	// Replicates averages extra workload seeds per cell (0/1 = single).
 	Replicates int `json:"replicates,omitempty"`
 	// TimeoutSec caps the sweep's wall time (0 = server default).
@@ -138,6 +143,7 @@ func (r SweepRequest) jobRequest() JobRequest {
 		Title:      r.Title,
 		Insts:      r.Insts,
 		Benchmarks: r.Benchmarks,
+		Workloads:  r.Workloads,
 		Replicates: r.Replicates,
 		TimeoutSec: r.TimeoutSec,
 	}
@@ -160,7 +166,9 @@ func (s *Server) SubmitSweepAs(req SweepRequest, tenant string) (Sweep, error) {
 	}
 	benches := len(req.Benchmarks)
 	if benches == 0 {
-		benches = len(workload.Names())
+		// An unrestricted sweep runs the Table 1 suite plus every inline
+		// workload.
+		benches = len(workload.Names()) + len(req.Workloads)
 	}
 	reps := req.Replicates
 	if reps < 2 {

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// traceWorkloadSpec is a stand-in for a polychar-synthesized workload
+// travelling inline with a job: content-addressed name, not registered
+// anywhere on the server.
+func traceWorkloadSpec() workload.Spec {
+	return workload.Spec{
+		Name: "trace-0123456789ab", Seed: 42, TargetInsts: 3000,
+		Branches: []workload.BranchSpec{
+			{Kind: workload.KindBernoulli, Bias: 0.7},
+			{Kind: workload.KindLoop, Trip: 8},
+		},
+		BlockLen: 4, Chains: 2,
+	}
+}
+
+func marshalJob(t *testing.T, req JobRequest) string {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestJobInlineWorkloads: a job carrying an inline trace-derived spec runs
+// it alongside registry benchmarks, and the name never leaks into jobs
+// that don't carry it.
+func TestJobInlineWorkloads(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := marshalJob(t, JobRequest{
+		Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+		Insts:      3000,
+		Benchmarks: []string{"compress", "trace-0123456789ab"},
+		Workloads:  []workload.Spec{traceWorkloadSpec()},
+	})
+	j := submitAndWait(t, ts, body)
+	if j.State != JobDone {
+		t.Fatalf("job failed: %+v", j)
+	}
+	res := getResult(t, ts, j.ID)
+	if !strings.Contains(res.Text, "trace-0123456789ab") || !strings.Contains(res.Text, "compress") {
+		t.Fatalf("result missing inline workload row:\n%s", res.Text)
+	}
+
+	// Without the inline spec the name must be unknown (job-scoped, not
+	// registered server-wide by the earlier run).
+	resp, data := post(t, ts, marshalJob(t, JobRequest{
+		Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+		Insts:      3000,
+		Benchmarks: []string{"trace-0123456789ab"},
+	}))
+	if resp.StatusCode == http.StatusAccepted {
+		j2 := submitAndWait(t, ts, marshalJob(t, JobRequest{
+			Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}},
+			Insts:      3000,
+			Benchmarks: []string{"trace-0123456789ab"},
+		}))
+		if j2.State == JobDone {
+			t.Fatalf("inline workload leaked into the server registry: %s", data)
+		}
+	}
+}
+
+// TestJobInlineWorkloadValidation: malformed Workloads lists are client
+// errors at submit time, before any cell runs.
+func TestJobInlineWorkloadValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := JobRequest{
+		Configs: []ConfigEntry{{Name: "mono", Model: "monopath"}},
+		Insts:   3000,
+	}
+
+	collide := traceWorkloadSpec()
+	collide.Name = "compress"
+
+	bad := traceWorkloadSpec()
+	bad.Branches = nil
+
+	many := make([]workload.Spec, 17)
+	for i := range many {
+		s := traceWorkloadSpec()
+		s.Name = "trace-" + strings.Repeat("a", i%12+1)
+		many[i] = s
+	}
+
+	cases := []struct {
+		name      string
+		workloads []workload.Spec
+		wantErr   string
+	}{
+		{"registry collision", []workload.Spec{collide}, "compress"},
+		{"duplicate names", []workload.Spec{traceWorkloadSpec(), traceWorkloadSpec()}, "duplicate"},
+		{"too many", many, "16"},
+		{"invalid spec", []workload.Spec{bad}, "branch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := base
+			req.Workloads = tc.workloads
+			resp, data := post(t, ts, marshalJob(t, req))
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+			}
+			if !strings.Contains(strings.ToLower(string(data)), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", data, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFleetInlineWorkloadDispatch: across a real coordinator/worker fleet
+// the inline spec travels in the cell request (the worker has no registry
+// entry for it) and the sharded run matches the standalone render.
+func TestFleetInlineWorkloadDispatch(t *testing.T) {
+	req := JobRequest{
+		Configs:    []ConfigEntry{{Name: "mono", Model: "monopath"}, {Name: "see", Model: "see"}},
+		Insts:      3000,
+		Benchmarks: []string{"gcc", "trace-0123456789ab"},
+		Workloads:  []workload.Spec{traceWorkloadSpec()},
+	}
+
+	solo, sts := newTestServer(t, Config{})
+	_ = solo
+	body := marshalJob(t, req)
+	want := submitAndWait(t, sts, body)
+	if want.State != JobDone {
+		t.Fatalf("standalone run failed: %+v", want)
+	}
+	wantRes := getResult(t, sts, want.ID)
+
+	coord, cts := startFleet(t, 2, t.TempDir())
+	got := submitAndWait(t, cts, body)
+	if got.State != JobDone {
+		t.Fatalf("fleet run failed: %+v", got)
+	}
+	gotRes := getResult(t, cts, got.ID)
+	if gotRes.Text != wantRes.Text {
+		t.Fatalf("fleet result diverged from standalone:\n--- standalone ---\n%s\n--- fleet ---\n%s", wantRes.Text, gotRes.Text)
+	}
+	if coord.svc.CellsDispatched.Load() == 0 {
+		t.Fatal("coordinator dispatched no cells; the inline spec was never exercised remotely")
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalibrationError reports that closed-loop calibration could not reach
+// the target misprediction rate for the given branch mix. It carries the
+// achievable range so callers (polychar) can explain *why*: a mix with no
+// Bernoulli branches has a fixed rate; a mix whose random component is
+// too small cannot reach a high target no matter how the biases scale.
+type CalibrationError struct {
+	Name   string  // spec name
+	Target float64 // requested gshare misprediction rate
+	// Achieved is the closest rate reached by any evaluated candidate.
+	Achieved float64
+	// Lo, Hi bound the achievable rate range for this mix (Lo at maximum
+	// bias, Hi at bias 0.5 for every Bernoulli site).
+	Lo, Hi float64
+	// Tolerance is the relative tolerance that was not met.
+	Tolerance float64
+}
+
+func (e *CalibrationError) Error() string {
+	return fmt.Sprintf(
+		"workload: %s: target misprediction rate %.4f unreachable (achievable [%.4f, %.4f], closest %.4f, tolerance ±%.0f%%)",
+		e.Name, e.Target, e.Lo, e.Hi, e.Achieved, 100*e.Tolerance)
+}
+
+// relErr is the relative calibration error, with an absolute floor so
+// near-zero targets (branchless workloads) don't demand impossible
+// precision.
+func relErr(rate, target float64) float64 {
+	return math.Abs(rate-target) / math.Max(target, 0.002)
+}
+
+// scaleBiases returns spec with every Bernoulli bias magnitude scaled by
+// s around 0.5: magnitude' = 0.5 + (magnitude-0.5)*s, direction
+// preserved, capped at 0.995. s=0 makes every data-driven branch a coin
+// flip (maximum misprediction); large s pushes every site toward fully
+// biased (minimum). Branch slices are copied; the input is not mutated.
+func scaleBiases(spec Spec, s float64) Spec {
+	out := spec
+	out.Branches = append([]BranchSpec(nil), spec.Branches...)
+	for i, br := range out.Branches {
+		if br.Kind != KindBernoulli {
+			continue
+		}
+		mag := math.Max(br.Bias, 1-br.Bias)
+		mag = 0.5 + (mag-0.5)*s
+		if mag > 0.995 {
+			mag = 0.995
+		}
+		if mag < 0.5 {
+			mag = 0.5
+		}
+		if br.Bias >= 0.5 {
+			out.Branches[i].Bias = mag
+		} else {
+			out.Branches[i].Bias = 1 - mag
+		}
+	}
+	return out
+}
+
+// measureRate generates the spec and measures its gshare misprediction
+// rate at histBits over maxInsts dynamic instructions.
+func measureRate(spec Spec, histBits int, maxInsts uint64) (float64, error) {
+	p, err := Generate(spec)
+	if err != nil {
+		return 0, err
+	}
+	rate, _, err := GshareMispredictRate(p, histBits, maxInsts)
+	return rate, err
+}
+
+// CalibrateBias closed-loops the spec's Bernoulli bias magnitudes against
+// the gshare instrument until the generated program's misprediction rate
+// at histBits matches target within relTol (relative, with a 0.002
+// absolute floor). It bisects a single scaling knob — the misprediction
+// rate is monotone in how far the biases sit from 0.5 — re-generating and
+// re-measuring each candidate, and returns the calibrated spec plus its
+// measured rate.
+//
+// When the target is outside the mix's achievable range (or the loop
+// cannot close within the iteration budget), it returns the best
+// candidate found and a *CalibrationError describing the achievable
+// range — never a silently clamped spec.
+func CalibrateBias(spec Spec, target float64, histBits int, maxInsts uint64, relTol float64) (Spec, float64, error) {
+	if relTol <= 0 {
+		relTol = 0.05
+	}
+	if maxInsts == 0 {
+		maxInsts = spec.TargetInsts
+	}
+	fail := func(achieved, lo, hi float64) *CalibrationError {
+		return &CalibrationError{
+			Name: spec.Name, Target: target,
+			Achieved: achieved, Lo: lo, Hi: hi, Tolerance: relTol,
+		}
+	}
+
+	hasBern := false
+	for _, br := range spec.Branches {
+		if br.Kind == KindBernoulli {
+			hasBern = true
+			break
+		}
+	}
+	base, err := measureRate(spec, histBits, maxInsts)
+	if err != nil {
+		return spec, 0, err
+	}
+	if relErr(base, target) <= relTol {
+		return spec, base, nil
+	}
+	if !hasBern {
+		// No knob to turn: the rate is whatever the structured branches
+		// give. Report the fixed point as the achievable range.
+		return spec, base, fail(base, base, base)
+	}
+
+	// Bracket the target. s=0: all coin flips (hi end of the range);
+	// s=sMax: maximally biased (lo end). sMax 10 saturates the 0.995 cap
+	// for any starting magnitude > 0.55.
+	const sMax = 10.0
+	hiRate, err := measureRate(scaleBiases(spec, 0), histBits, maxInsts)
+	if err != nil {
+		return spec, 0, err
+	}
+	loRate, err := measureRate(scaleBiases(spec, sMax), histBits, maxInsts)
+	if err != nil {
+		return spec, 0, err
+	}
+	bestSpec, bestRate := spec, base
+	consider := func(s Spec, r float64) {
+		if relErr(r, target) < relErr(bestRate, target) {
+			bestSpec, bestRate = s, r
+		}
+	}
+	consider(scaleBiases(spec, 0), hiRate)
+	consider(scaleBiases(spec, sMax), loRate)
+	if relErr(bestRate, target) <= relTol {
+		return bestSpec, bestRate, nil
+	}
+	if target > hiRate || target < loRate {
+		return bestSpec, bestRate, fail(bestRate, loRate, hiRate)
+	}
+
+	// Bisect on s: rate is monotone non-increasing in s.
+	lo, hi := 0.0, sMax
+	for i := 0; i < 18; i++ {
+		mid := (lo + hi) / 2
+		cand := scaleBiases(spec, mid)
+		r, err := measureRate(cand, histBits, maxInsts)
+		if err != nil {
+			return spec, 0, err
+		}
+		consider(cand, r)
+		if relErr(r, target) <= relTol {
+			return cand, r, nil
+		}
+		if r > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if relErr(bestRate, target) <= relTol {
+		return bestSpec, bestRate, nil
+	}
+	return bestSpec, bestRate, fail(bestRate, loRate, hiRate)
+}

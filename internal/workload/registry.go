@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Extended returns the workload families beyond the paper's Table 1
+// stand-ins, in registration order. These grow the suite along the axes
+// of the predictability taxonomy (bias, history depth, misprediction
+// clustering) rather than mimicking specific SPECint95 programs:
+//
+//   - ptrchase: pointer-chasing list/tree traversal. Load-dominated, low
+//     ILP (two dependence chains), data-dependent branches that resolve
+//     only after a deep load+ALU chain — near-random outcomes, so
+//     mispredictions are frequent and clustered (go-like end of Figure 8)
+//     with a long resolution latency that magnifies the penalty.
+//   - interp-dispatch: a bytecode-interpreter main loop. A 16-way indirect
+//     dispatch switch (BTB territory), opcode-dependent conditional
+//     branches of moderate bias, and a call per "opcode" — gcc/perl-like
+//     mixed behaviour.
+//   - branchless: a branchless/SIMD-style streaming kernel. Long counted
+//     loops around wide arithmetic blocks; essentially every branch is a
+//     learnable back edge, so the misprediction rate is near zero
+//     (vortex-beyond end of the spectrum; stresses everything except the
+//     predictor).
+func Extended(targetInsts uint64) []Benchmark {
+	if targetInsts == 0 {
+		targetInsts = DefaultTargetInsts
+	}
+	return []Benchmark{
+		{
+			PaperMispredict: 0.22, // design target, not Table 1
+			Spec: Spec{
+				Name: "ptrchase", Seed: 201, TargetInsts: targetInsts,
+				Branches: []BranchSpec{
+					{Kind: KindBernoulli, Bias: 0.5},
+					{Kind: KindBernoulli, Bias: 0.5},
+					{Kind: KindBernoulli, Bias: 0.45},
+					{Kind: KindBernoulli, Bias: 0.6},
+					{Kind: KindLoop, Trip: 4},
+				},
+				BlockLen: 5, Chains: 2,
+				LoadFrac: 0.45, StoreFrac: 0.04,
+				PredDepth: 12,
+			},
+		},
+		{
+			PaperMispredict: 0.08, // design target, not Table 1
+			Spec: Spec{
+				Name: "interp-dispatch", Seed: 202, TargetInsts: targetInsts,
+				Branches: []BranchSpec{
+					{Kind: KindSwitch, Fanout: 16},
+					{Kind: KindBernoulli, Bias: 0.75},
+					{Kind: KindBernoulli, Bias: 0.9},
+					{Kind: KindPattern, Period: 6},
+					{Kind: KindCall, CallDepth: 1},
+					{Kind: KindLoop, Trip: 8},
+				},
+				BlockLen: 6, Chains: 4,
+				LoadFrac: 0.28, StoreFrac: 0.10,
+				PredDepth: 5,
+			},
+		},
+		{
+			PaperMispredict: 0.004, // design target, not Table 1
+			Spec: Spec{
+				Name: "branchless", Seed: 203, TargetInsts: targetInsts,
+				Branches: []BranchSpec{
+					{Kind: KindLoop, Trip: 64},
+					{Kind: KindLoop, Trip: 48},
+					{Kind: KindLoop, Trip: 32},
+				},
+				BlockLen: 24, Chains: 8,
+				LoadFrac: 0.12, StoreFrac: 0.06, MulFrac: 0.10, FPFrac: 0.15,
+				PredDepth: 0,
+			},
+		},
+	}
+}
+
+// registry holds runtime-registered workload families (trace-derived
+// workloads register here so harness cells can resolve them by name).
+var registry = struct {
+	sync.Mutex
+	byName map[string]Benchmark
+	order  []string
+}{byName: make(map[string]Benchmark)}
+
+// Register adds a runtime workload family resolvable via ByName. The
+// benchmark's Spec.TargetInsts is treated as a default: ByName callers
+// passing a non-zero targetInsts override it. Registering a name that
+// collides with a built-in family or an existing registration is an error.
+func Register(b Benchmark) error {
+	name := b.Spec.Name
+	if name == "" {
+		return fmt.Errorf("workload: register: empty name")
+	}
+	if err := CheckSpec(b.Spec); err != nil {
+		return fmt.Errorf("workload: register %q: %w", name, err)
+	}
+	for _, built := range builtinNames() {
+		if built == name {
+			return fmt.Errorf("workload: register %q: collides with built-in family", name)
+		}
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		return fmt.Errorf("workload: register %q: already registered", name)
+	}
+	registry.byName[name] = b
+	registry.order = append(registry.order, name)
+	return nil
+}
+
+// Registered returns the names of runtime-registered families in
+// registration order.
+func Registered() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	return append([]string(nil), registry.order...)
+}
+
+func builtinNames() []string {
+	names := Names()
+	for _, b := range Extended(1) {
+		names = append(names, b.Spec.Name)
+	}
+	return names
+}
+
+// AllNames returns every resolvable workload name: the Table 1 suite in
+// table order, the extended families, then runtime registrations. Names()
+// remains the Table 1 set — default experiment tables are unchanged by
+// suite growth.
+func AllNames() []string {
+	return append(builtinNames(), Registered()...)
+}
+
+// ByName resolves a workload family by name: Table 1 suite, then extended
+// families, then runtime registrations. targetInsts overrides the spec's
+// dynamic length when non-zero. Unknown names enumerate everything
+// registered, the same UX as the model registry.
+func ByName(name string, targetInsts uint64) (Benchmark, error) {
+	for _, b := range Suite(targetInsts) {
+		if b.Spec.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range Extended(targetInsts) {
+		if b.Spec.Name == name {
+			return b, nil
+		}
+	}
+	registry.Lock()
+	b, ok := registry.byName[name]
+	registry.Unlock()
+	if ok {
+		if targetInsts != 0 {
+			b.Spec.TargetInsts = targetInsts
+		}
+		return b, nil
+	}
+	all := AllNames()
+	sort.Strings(all)
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q (registered: %s)", name, strings.Join(all, ", "))
+}
+
+// CheckSpec validates a workload spec without generating it. Inline specs
+// arriving over the wire (polyserve trace-derived cells) are validated
+// with this before Generate.
+func CheckSpec(spec Spec) error { return checkSpec(spec) }

@@ -1,8 +1,6 @@
 package workload
 
 import (
-	"fmt"
-
 	"repro/internal/bpred"
 	"repro/internal/isa"
 )
@@ -166,16 +164,6 @@ func Suite(targetInsts uint64) []Benchmark {
 			},
 		},
 	}
-}
-
-// ByName returns the suite benchmark with the given name.
-func ByName(name string, targetInsts uint64) (Benchmark, error) {
-	for _, b := range Suite(targetInsts) {
-		if b.Spec.Name == name {
-			return b, nil
-		}
-	}
-	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
 }
 
 // Names returns the benchmark names in Table 1 order.
