@@ -54,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -72,6 +73,10 @@ func main() {
 	histBits := flag.Int("histbits", 0, "predictor hist_bits (0 = scaled baseline 11)")
 	pred := flag.String("pred", "", "predictor kind override, any registered kind: "+strings.Join(pipeline.PredictorKinds(), ","))
 	predParams := flag.String("pred-params", "", "predictor parameters as name=value[,name=value...] (schema-checked; e.g. -pred tage -pred-params tables=4,tag_bits=11)")
+	policyKind := flag.String("policy", "", "adaptive SEE policy controller, any registered kind: "+strings.Join(policy.Kinds(), ","))
+	policyCands := flag.String("policy-candidates", "", "comma-separated candidate presets for -policy: "+strings.Join(policy.PresetNames(), ",")+" (default: the model's configured behaviour for static, see,monopath otherwise)")
+	policyEpoch := flag.Int("policy-epoch", 0, "policy epoch length in cycles (0 = default 4096)")
+	policyParams := flag.String("policy-params", "", "controller parameters as name=value[,name=value...] (schema-checked; e.g. -policy online -policy-params explore_every=6,shift_milli=120)")
 	seed := flag.Int64("seed", 0, "workload seed override (0 = benchmark default)")
 	emitTrace := flag.String("emit-trace", "", "export the workload's branch trace to this PBT1 file (gzip when it ends in .gz) and exit; print the record count and content digest")
 	importTrace := flag.String("import-trace", "", "characterize a PBT1 branch trace, synthesize a calibrated stand-in workload, and simulate it")
@@ -108,7 +113,8 @@ func main() {
 				fail(fmt.Errorf("%s is incompatible with -compare", flagName))
 			}
 		}
-		runCompare(*compare, *jobs, *bench, *insts, *audit, *window, *depth, *units, *histBits, *pred, *predParams)
+		runCompare(*compare, *jobs, *bench, *insts, *audit, *window, *depth, *units, *histBits, *pred, *predParams,
+			*policyKind, *policyCands, *policyEpoch, *policyParams)
 		return
 	}
 
@@ -155,7 +161,8 @@ func main() {
 
 	base, err := core.ModelConfig(*model)
 	fail(err)
-	mods, err := machineMods(*window, *depth, *units, *histBits, *pred, *predParams)
+	mods, err := machineMods(*window, *depth, *units, *histBits, *pred, *predParams,
+		*policyKind, *policyCands, *policyEpoch, *policyParams)
 	fail(err)
 	// The validated constructor turns any invalid flag combination into a
 	// descriptive typed error instead of a downstream panic.
@@ -195,6 +202,10 @@ func main() {
 
 	fmt.Printf("benchmark %s, model %s (architectural state verified: %v)\n\n%s",
 		*bench, *model, true, m.Stats.Summary())
+	if cfg.Policy.Kind != "" {
+		fmt.Printf("policy %s: %d epoch(s), %d switch(es)\n",
+			cfg.Policy.Kind, len(m.Stats.EpochIPC), m.Stats.PolicySwitches)
+	}
 	if pt != nil {
 		fmt.Println()
 		fail(pt.Render(os.Stdout))
@@ -263,10 +274,11 @@ func importedBenchmark(path string, insts uint64) (workload.Benchmark, error) {
 // sharded over -j workers by the same deterministic engine behind
 // cmd/experiments and polyserve sweeps, and prints the IPC table.
 // Machine-parameter flag overrides apply to every model uniformly.
-func runCompare(models string, workers int, bench string, insts uint64, audit string, window, depth, units, histBits int, pred, predParams string) {
+func runCompare(models string, workers int, bench string, insts uint64, audit string, window, depth, units, histBits int, pred, predParams, policyKind, policyCands string, policyEpoch int, policyParams string) {
 	auditLevel, err := pipeline.ParseAuditLevel(audit)
 	fail(err)
-	mods, err := machineMods(window, depth, units, histBits, pred, predParams)
+	mods, err := machineMods(window, depth, units, histBits, pred, predParams,
+		policyKind, policyCands, policyEpoch, policyParams)
 	fail(err)
 	var configs []harness.NamedConfig
 	for _, name := range strings.Split(models, ",") {
@@ -354,7 +366,7 @@ func serveDebug(addr string, sim *stats.Sim) {
 // any registered kind is accepted, -pred-params feeds its schema, and the
 // base model's hist_bits carries over when the new kind's schema accepts it
 // (so "-model see -pred combining" keeps the scaled 11-bit sizing).
-func machineMods(window, depth, units, histBits int, pred, predParams string) ([]pipeline.Option, error) {
+func machineMods(window, depth, units, histBits int, pred, predParams, policyKind, policyCands string, policyEpoch int, policyParams string) ([]pipeline.Option, error) {
 	var mods []pipeline.Option
 	if window > 0 {
 		mods = append(mods, pipeline.WithWindowSize(window))
@@ -414,7 +426,67 @@ func machineMods(window, depth, units, histBits int, pred, predParams string) ([
 	if histBits > 0 {
 		mods = append(mods, pipeline.WithHistoryBits(histBits))
 	}
+	if policyKind != "" {
+		pmod, err := policyMod(policyKind, policyCands, policyEpoch, policyParams)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, pmod)
+	} else if policyCands != "" || policyEpoch != 0 || policyParams != "" {
+		return nil, fmt.Errorf("-policy-candidates/-policy-epoch/-policy-params require -policy")
+	}
 	return mods, nil
+}
+
+// policyMod builds the config option attaching an adaptive policy
+// controller. Candidates are named presets (policy.PresetNames); when the
+// flag is empty, static wraps the model's configured behaviour and the
+// choosing controllers get the paper's see/monopath pair. Parameters pass
+// through to the controller's schema, which validates names and ranges.
+func policyMod(kind, cands string, epoch int, paramStr string) (pipeline.Option, error) {
+	if cands == "" && kind != "static" {
+		cands = "see,monopath"
+	}
+	var settings []policy.Setting
+	for _, name := range strings.Split(cands, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		set, ok := policy.PresetSetting(name)
+		if !ok {
+			return nil, fmt.Errorf("-policy-candidates: unknown preset %q (valid: %s)",
+				name, strings.Join(policy.PresetNames(), ","))
+		}
+		settings = append(settings, set)
+	}
+	params := make(map[string]int)
+	if paramStr != "" {
+		for _, kv := range strings.Split(paramStr, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("-policy-params: %q is not name=value", kv)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("-policy-params %s: %v", name, err)
+			}
+			params[strings.TrimSpace(name)] = v
+		}
+	}
+	return func(c *pipeline.Config) {
+		// Fresh clones per application: the same option may apply to several
+		// -compare configs, which must not share candidate or param state.
+		spec := pipeline.PolicySpec{Kind: kind, EpochCycles: epoch}
+		spec.Candidates = append([]policy.Setting(nil), settings...)
+		if len(params) > 0 {
+			spec.Params = make(map[string]int, len(params))
+			for k, v := range params {
+				spec.Params[k] = v
+			}
+		}
+		c.Policy = spec
+	}, nil
 }
 
 func fail(err error) {

@@ -109,6 +109,14 @@ func (a *Adaptive) PVN() (pvn float64, samples int) {
 // (1 bit per entry) and counters.
 func (a *Adaptive) StateBytes() int { return a.inner.StateBytes() + a.window/8 + 4 }
 
+// SetThreshold implements ThresholdSetter by delegating to the inner
+// estimator when it supports threshold actuation.
+func (a *Adaptive) SetThreshold(t int) {
+	if ts, ok := a.inner.(ThresholdSetter); ok {
+		ts.SetThreshold(t)
+	}
+}
+
 // Reset implements Estimator.
 func (a *Adaptive) Reset() {
 	a.inner.Reset()

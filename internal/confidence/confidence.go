@@ -47,7 +47,8 @@ type JRS struct {
 	indexBits int
 	ctrBits   int
 	threshold uint8
-	enhanced  bool // include predTaken in the index (the paper's enhancement)
+	baseThr   uint8 // configured threshold, restored by SetThreshold(0)/Reset
+	enhanced  bool  // include predTaken in the index (the paper's enhancement)
 	mask      uint64
 	table     []uint8
 	maxCtr    uint8
@@ -90,6 +91,7 @@ func NewJRS(cfg JRSConfig) *JRS {
 		indexBits: cfg.IndexBits,
 		ctrBits:   cfg.CtrBits,
 		threshold: thr,
+		baseThr:   thr,
 		enhanced:  cfg.EnhancedIndex,
 		mask:      (1 << uint(cfg.IndexBits)) - 1,
 		table:     make([]uint8, 1<<uint(cfg.IndexBits)),
@@ -130,11 +132,39 @@ func (j *JRS) Update(pc int, hist uint64, predTaken bool, correct bool) {
 // StateBytes implements Estimator.
 func (j *JRS) StateBytes() int { return len(j.table) * j.ctrBits / 8 }
 
+// ThresholdSetter is implemented by estimators whose high-confidence
+// threshold can be actuated at runtime (the policy controller's
+// conf_threshold knob). Estimators without a meaningful threshold simply
+// do not implement it and the knob is inert for them.
+type ThresholdSetter interface {
+	// SetThreshold changes the high-confidence threshold: t > 0 sets
+	// threshold t (clamped to the estimator's maximum), t == 0 restores the
+	// configured threshold, and t < 0 selects counter saturation.
+	SetThreshold(t int)
+}
+
+// SetThreshold implements ThresholdSetter. Only the comparison threshold
+// changes; the counter table is untouched, so actuation at an epoch
+// boundary carries no hidden retraining cost.
+func (j *JRS) SetThreshold(t int) {
+	switch {
+	case t == 0:
+		j.threshold = j.baseThr
+	case t < 0:
+		j.threshold = j.maxCtr
+	case t > int(j.maxCtr):
+		j.threshold = j.maxCtr
+	default:
+		j.threshold = uint8(t)
+	}
+}
+
 // Reset implements Estimator. Counters initialize saturated (high
 // confidence): an index that has never seen a misprediction is treated as
 // confident, so unvisited (cold) contexts — abundant on wrong-path fetch
 // streams — do not trigger spurious divergences.
 func (j *JRS) Reset() {
+	j.threshold = j.baseThr
 	for i := range j.table {
 		j.table[i] = j.maxCtr
 	}

@@ -29,6 +29,11 @@ import (
 // configuration as the library's public surface.
 type Config = pipeline.Config
 
+// PolicySpec re-exports the pipeline's adaptive-policy configuration: the
+// optional per-epoch SEE policy controller attached to a Config (see
+// internal/policy). The zero value means no controller.
+type PolicySpec = pipeline.PolicySpec
+
 // Result holds the outcome of one simulation.
 type Result struct {
 	Program string

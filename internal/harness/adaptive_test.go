@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAdaptiveDeterministicAcrossParallelism pins the fig-adaptive family
+// to the deterministic-scheduler contract: the experiment — including the
+// data-dependent second pass, whose oracle schedules are computed from the
+// first pass's epoch-IPC series — must produce identical structured rows
+// and identical rendered bytes under sequential and heavily-sharded
+// execution.
+func TestAdaptiveDeterministicAcrossParallelism(t *testing.T) {
+	base := Options{
+		TargetInsts: 60000,
+		Benchmarks:  []string{"gcc", "m88ksim-phased"},
+	}
+	seq := base
+	seq.Parallelism = 1
+	par := base
+	par.Parallelism = 8
+
+	r1, err := Adaptive(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Adaptive(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("fig-adaptive rows differ between -j1 and -j8:\n j1 %+v\n j8 %+v", r1, r8)
+	}
+	if r1.Render() != r8.Render() {
+		t.Errorf("fig-adaptive rendered bytes differ between -j1 and -j8:\n j1:\n%s\n j8:\n%s",
+			r1.Render(), r8.Render())
+	}
+}
+
+// TestAdaptiveRowInvariants checks the family's structural guarantees on a
+// small run: every simulated column is populated, best-static is the max
+// of the statics, and the reported oracle is floored at best-static (the
+// static schedules are members of the oracle's schedule space).
+func TestAdaptiveRowInvariants(t *testing.T) {
+	res, err := Adaptive(Options{
+		TargetInsts: 40000,
+		Benchmarks:  []string{"m88ksim-phased"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if len(row.StaticIPC) != len(res.CandidateNames) {
+		t.Fatalf("%d static columns for %d candidates", len(row.StaticIPC), len(res.CandidateNames))
+	}
+	best := 0.0
+	for i, ipc := range row.StaticIPC {
+		if ipc <= 0 {
+			t.Errorf("static %s IPC = %v, want > 0", res.CandidateNames[i], ipc)
+		}
+		if ipc > best {
+			best = ipc
+		}
+	}
+	if row.BestStatic != best {
+		t.Errorf("BestStatic = %v, want max static %v", row.BestStatic, best)
+	}
+	if row.OracleIPC < row.BestStatic {
+		t.Errorf("oracle %v below its best-static floor %v", row.OracleIPC, row.BestStatic)
+	}
+	if row.OnlineIPC <= 0 {
+		t.Errorf("online IPC = %v, want > 0", row.OnlineIPC)
+	}
+}

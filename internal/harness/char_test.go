@@ -130,7 +130,7 @@ func TestCharTableCoversExtendedAndExtra(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(workload.Names()) + 3 + 1
+	want := len(workload.Names()) + len(workload.Extended(15_000)) + 1
 	if len(res.Rows) != want {
 		t.Fatalf("rows = %d, want %d (suite + extended + extra)", len(res.Rows), want)
 	}
@@ -138,7 +138,7 @@ func TestCharTableCoversExtendedAndExtra(t *testing.T) {
 	for _, r := range res.Rows {
 		names[r.Name] = true
 	}
-	for _, n := range []string{"compress", "ptrchase", "interp-dispatch", "branchless", "trace-0123456789ab"} {
+	for _, n := range []string{"compress", "ptrchase", "interp-dispatch", "branchless", "m88ksim-phased", "trace-0123456789ab"} {
 		if !names[n] {
 			t.Fatalf("fig8-char table missing %s (have %v)", n, res.Rows)
 		}

@@ -52,6 +52,7 @@ func Experiments() []Experiment {
 		{"abl-mrc", wrapA(AblationMRC)},
 		{"ext-cache", func(o Options) (Renderable, error) { return ExtensionCacheSensitivity(o) }},
 		{"ext-cedesign", func(o Options) (Renderable, error) { return ExtensionCEDesignSpace(o) }},
+		{"fig-adaptive", func(o Options) (Renderable, error) { return Adaptive(o) }},
 	}
 }
 

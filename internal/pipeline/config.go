@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/confidence"
 	"repro/internal/ctxtag"
+	"repro/internal/policy"
 )
 
 // Mode selects the execution model.
@@ -155,6 +156,58 @@ type ConfidenceSpec struct {
 	Params map[string]int
 }
 
+// PolicySpec configures the optional phase-aware policy controller as an
+// opaque (kind, epoch, candidates, parameters) tuple resolved against
+// policy.Registry — the same open-registry shape as PredictorSpec and
+// ConfidenceSpec, so adding a controller requires edits only under
+// internal/policy. The zero value means "no controller".
+type PolicySpec struct {
+	// Kind names a registered controller ("static", "oracle", "online",
+	// or any runtime registration); empty disables policy control.
+	Kind string
+	// EpochCycles is the actuation interval in cycles (0 = the registry
+	// default).
+	EpochCycles int
+	// Candidates is the setting set the controller selects over.
+	Candidates []policy.Setting
+	// Params carries the kind's integer parameters by schema name.
+	Params map[string]int
+}
+
+// spec converts to the policy package's spec type.
+func (ps PolicySpec) spec() policy.Spec {
+	return policy.Spec{
+		Kind:        ps.Kind,
+		EpochCycles: ps.EpochCycles,
+		Candidates:  ps.Candidates,
+		Params:      ps.Params,
+	}
+}
+
+// normalize resolves the spec against policy.Registry. The zero spec
+// passes through unchanged; anything else is validated and canonicalized.
+func (ps PolicySpec) normalize() (PolicySpec, error) {
+	if ps.Kind == "" {
+		// No controller: candidates/epoch/params are inert, canonicalize
+		// them away so equivalent configs hash identically.
+		return PolicySpec{}, nil
+	}
+	ns, err := policy.Normalize(ps.spec())
+	if err != nil {
+		var se *policy.SpecError
+		if errors.As(err, &se) {
+			return ps, cfgErr("Policy."+se.Field, "%s (kind %s)", se.Reason, se.Kind)
+		}
+		return ps, cfgErr("Policy.Kind", "unknown policy kind %q (registered: %s)", ps.Kind, strings.Join(policy.Kinds(), ", "))
+	}
+	return PolicySpec{
+		Kind:        ns.Kind,
+		EpochCycles: ns.EpochCycles,
+		Candidates:  ns.Candidates,
+		Params:      ns.Params,
+	}, nil
+}
+
 // Config describes the simulated machine. DefaultConfig returns the
 // paper's baseline (Sec. 4.2).
 type Config struct {
@@ -191,6 +244,14 @@ type Config struct {
 
 	Predictor  PredictorSpec
 	Confidence ConfidenceSpec
+
+	// Policy optionally attaches a phase-aware policy controller
+	// (internal/policy): per-epoch feedback drives threshold/divergence/
+	// fetch-width actuation at epoch boundaries. The zero spec (empty Kind)
+	// means no controller — the machine behaves exactly as before the
+	// policy framework existed, and the canonical hash of every policy-free
+	// config is unchanged.
+	Policy PolicySpec
 
 	// FetchPolicy selects the multi-path fetch arbitration scheme
 	// (Sec. 3.2.6 calls fetch policy a topic of future work; the paper's
@@ -349,6 +410,11 @@ func (c Config) normalize() (Config, error) {
 		return c, err
 	}
 	c.Confidence = nc
+	npol, err := c.Policy.normalize()
+	if err != nil {
+		return c, err
+	}
+	c.Policy = npol
 	if c.Predictor.Kind == PredOracle && c.Confidence.Kind == ConfAdaptive {
 		return c, cfgErr("Confidence.Kind", "adaptive (PVN-monitoring) confidence is undefined under the oracle predictor: a perfect predictor never mispredicts, so the monitored PVN has no sample to converge on")
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/policy"
 )
 
 // SchemaV1 is the wire-format identifier of the original versioned
@@ -114,8 +115,26 @@ type wireConfigV1 struct {
 	MaxInsts              uint64           `json:"max_insts"`
 }
 
+// wireSettingV2 mirrors policy.Setting with stable field names.
+type wireSettingV2 struct {
+	ConfThreshold  int `json:"conf_threshold"`
+	MaxDivergences int `json:"max_divergences"`
+	FetchWidth     int `json:"fetch_width"`
+}
+
+// wirePolicyV2 carries the optional policy controller spec. The field is a
+// pointer in wireConfigV2 with omitempty, so policy-free configs encode
+// byte-identically to documents minted before the policy framework existed
+// — polypath/v2 is open to new optional fields, unlike frozen v1.
+type wirePolicyV2 struct {
+	Kind        string          `json:"kind"`
+	EpochCycles int             `json:"epoch_cycles"`
+	Candidates  []wireSettingV2 `json:"candidates,omitempty"`
+	Params      map[string]int  `json:"params,omitempty"`
+}
+
 // wireConfigV2 is the polypath/v2 wire form: identical to v1 except for
-// the open predictor/confidence specs.
+// the open predictor/confidence specs and the optional policy spec.
 type wireConfigV2 struct {
 	Schema                string           `json:"schema"`
 	Mode                  string           `json:"mode"`
@@ -150,6 +169,7 @@ type wireConfigV2 struct {
 	ResolutionBuses       int              `json:"resolution_buses"`
 	NonSpeculativeHistory bool             `json:"non_speculative_history"`
 	MaxInsts              uint64           `json:"max_insts"`
+	Policy                *wirePolicyV2    `json:"policy,omitempty"`
 }
 
 // v1PredictorKinds is the frozen predictor set of polypath/v1 and the
@@ -170,6 +190,11 @@ var v1ConfidenceKinds = map[ConfidenceKind]bool{
 // the frozen polypath/v1 schema.
 func v1Representable(n Config) bool {
 	if !v1PredictorKinds[n.Predictor.Kind] || !v1ConfidenceKinds[n.Confidence.Kind] {
+		return false
+	}
+	if n.Policy.Kind != "" {
+		// The frozen v1 schema predates the policy framework; a
+		// policy-bearing config must hash over its v2 encoding.
 		return false
 	}
 	for name := range n.Predictor.Params {
@@ -306,6 +331,21 @@ func encodeNormalizedV2(n Config) ([]byte, error) {
 		ResolutionBuses:       n.ResolutionBuses,
 		NonSpeculativeHistory: n.NonSpeculativeHistory,
 		MaxInsts:              n.MaxInsts,
+	}
+	if n.Policy.Kind != "" {
+		wp := &wirePolicyV2{
+			Kind:        n.Policy.Kind,
+			EpochCycles: n.Policy.EpochCycles,
+			Params:      n.Policy.Params,
+		}
+		for _, c := range n.Policy.Candidates {
+			wp.Candidates = append(wp.Candidates, wireSettingV2{
+				ConfThreshold:  c.ConfThreshold,
+				MaxDivergences: c.MaxDivergences,
+				FetchWidth:     c.FetchWidth,
+			})
+		}
+		w.Policy = wp
 	}
 	return json.Marshal(w)
 }
@@ -502,6 +542,20 @@ func decodeCommon(w wireConfigV2) (Config, error) {
 		ResolutionBuses:       w.ResolutionBuses,
 		NonSpeculativeHistory: w.NonSpeculativeHistory,
 		MaxInsts:              w.MaxInsts,
+	}
+	if w.Policy != nil {
+		c.Policy = PolicySpec{
+			Kind:        w.Policy.Kind,
+			EpochCycles: w.Policy.EpochCycles,
+			Params:      w.Policy.Params,
+		}
+		for _, s := range w.Policy.Candidates {
+			c.Policy.Candidates = append(c.Policy.Candidates, policy.Setting{
+				ConfThreshold:  s.ConfThreshold,
+				MaxDivergences: s.MaxDivergences,
+				FetchWidth:     s.FetchWidth,
+			})
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return Config{}, err

@@ -41,7 +41,7 @@ func (m *Machine) fetch() {
 		fps[j+1] = p
 	}
 
-	bw := m.cfg.FetchWidth
+	bw := m.policyFetchWidth()
 	fetched := m.allocLatch()
 	for i, p := range fps {
 		if bw <= 0 {
@@ -175,7 +175,7 @@ func (m *Machine) fetchBranch(p *path, f *finst) {
 	f.traceIdx = p.traceIdx
 	p.pendingBranches++
 
-	if !highConf && m.cfg.Mode == PolyPath {
+	if !highConf && m.cfg.Mode == PolyPath && m.divergeAllowed() {
 		if m.tryDiverge(p, f, actualKnown, actualTaken) {
 			return
 		}
@@ -198,7 +198,7 @@ func (m *Machine) fetchBranch(p *path, f *finst) {
 // a free CTX history position, two free CTX table entries, and (for the
 // dual-path restriction of Sec. 5.2) an available divergence slot.
 func (m *Machine) tryDiverge(p *path, f *finst, actualKnown, actualTaken bool) bool {
-	if m.cfg.MaxDivergences > 0 && m.divergences >= m.cfg.MaxDivergences {
+	if limit := m.divergenceLimit(); limit > 0 && m.divergences >= limit {
 		return false
 	}
 	if m.freePathSlots() < 2 {

@@ -229,6 +229,9 @@ type Machine struct {
 	halted  bool
 	archGHR uint64 // commit-time global history (non-speculative ablation)
 	tracer  Tracer
+	// pol is the policy-controller state (policy.go); nil when no policy
+	// spec is configured, in which case every policy hook is a no-op.
+	pol *polState
 	// faultHook, when set, is called at the top of every cycle; it is the
 	// deterministic fault-injection surface (fault.go).
 	faultHook func(cycle uint64)
@@ -337,6 +340,9 @@ func NewWithArena(prog *isa.Program, cfg Config, a *Arena) (*Machine, error) {
 	m.oracle = cfg.Predictor.Kind == PredOracle
 	m.conf, err = buildConfidence(cfg.Confidence)
 	if err != nil {
+		return nil, err
+	}
+	if err := m.buildPolicy(); err != nil {
 		return nil, err
 	}
 	m.btb = bpred.NewBTB(cfg.BTBBits)
@@ -563,6 +569,7 @@ func (m *Machine) RunContext(ctx context.Context) (err error) {
 			lastCommit = m.Stats.Committed
 		}
 	}
+	m.policyFinalize()
 	return nil
 }
 
@@ -585,6 +592,13 @@ func (m *Machine) step() {
 		m.advanceFrontEnd()
 		m.fetch()
 		m.sample()
+		// Epoch boundary: the controller observes the completed epoch and
+		// its setting governs every cycle until the next boundary. The
+		// boundary sits at end-of-cycle, before the invariant sweep, so a
+		// setting never changes mid-cycle.
+		if m.pol != nil && m.cycle%m.pol.epochCycles == 0 {
+			m.policyEpoch()
+		}
 	}
 	// The invariant sweep runs at end-of-cycle, when the stages have reached
 	// their inter-cycle fixed point (and also after the halting cycle, as a
@@ -595,6 +609,9 @@ func (m *Machine) step() {
 }
 
 func (m *Machine) sample() {
+	if m.pol != nil {
+		m.pol.pathSum += uint64(m.livePathCount())
+	}
 	m.Stats.PathHist.Add(m.livePathCount())
 	m.Stats.WindowHist.Add(len(m.window))
 	m.Stats.FUCapacity[isa.ClassIntType0] += uint64(m.cfg.NumIntType0)

@@ -1,0 +1,205 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultEpochCycles is the epoch length used when a spec leaves
+// EpochCycles zero: long enough that epoch bookkeeping is invisible in the
+// cycle loop, short enough to catch phase changes in the scaled workloads.
+const DefaultEpochCycles = 4096
+
+// MaxEpochCycles bounds the epoch length (2^24 cycles ≈ any full run).
+const MaxEpochCycles = 1 << 24
+
+// MinEpochCycles bounds the epoch length from below: shorter epochs give
+// the controller statistically meaningless deltas.
+const MinEpochCycles = 64
+
+// Spec is the kind-agnostic description of a policy controller: which
+// controller kind runs, the epoch length in cycles, the candidate setting
+// set it selects over, and the kind's extra integer parameters. A
+// registered kind's Normalize canonicalizes the fields it does not use, so
+// specs describing the same controller compare and hash identically.
+type Spec struct {
+	Kind        string
+	EpochCycles int
+	Candidates  []Setting
+	// Params carries integer parameters by schema name; a kind's Normalize
+	// fills defaults and rejects unknown names. nil and empty are
+	// equivalent. Fractional parameters travel in milli-units (e.g.
+	// hysteresis_milli 50 = 5%), keeping the wire format integer-only.
+	Params map[string]int
+}
+
+// Param returns the named parameter, or def when absent.
+func (s Spec) Param(name string, def int) int {
+	if v, ok := s.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// SpecError reports a spec field that violates a registered controller's
+// constraints; the pipeline converts it into its typed config error.
+type SpecError struct {
+	Kind   string
+	Field  string
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("policy: %s: %s: %s", e.Kind, e.Field, e.Reason)
+}
+
+// Entry describes one registered controller kind. Normalize validates the
+// spec and returns its canonical form (inert fields zeroed, defaults
+// filled); New constructs the controller from a normalized spec.
+type Entry struct {
+	Kind      string
+	Doc       string
+	Normalize func(Spec) (Spec, error)
+	New       func(Spec) (Controller, error)
+}
+
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+var reg = &registry{entries: make(map[string]Entry)}
+
+// Register adds a controller kind; duplicate or malformed registrations
+// are errors, never silent replacement.
+func Register(e Entry) error {
+	e.Kind = strings.ToLower(strings.TrimSpace(e.Kind))
+	if e.Kind == "" {
+		return fmt.Errorf("policy: register: empty kind")
+	}
+	if e.New == nil {
+		return fmt.Errorf("policy: register %q: nil factory", e.Kind)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.entries[e.Kind]; dup {
+		return fmt.Errorf("policy: register %q: already registered", e.Kind)
+	}
+	reg.entries[e.Kind] = e
+	return nil
+}
+
+// MustRegister is Register for init-time built-ins; it panics on error.
+func MustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the entry for a kind (case-insensitive).
+func Lookup(kind string) (Entry, bool) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	e, ok := reg.entries[strings.ToLower(strings.TrimSpace(kind))]
+	return e, ok
+}
+
+// Kinds returns the registered kind spellings, sorted.
+func Kinds() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	out := make([]string, 0, len(reg.entries))
+	for k := range reg.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize validates s against its kind's constraints and returns the
+// canonical spec. The returned spec never aliases s.Candidates or
+// s.Params.
+func Normalize(s Spec) (Spec, error) {
+	e, ok := Lookup(s.Kind)
+	if !ok {
+		return Spec{}, fmt.Errorf("policy: unknown controller kind %q (registered: %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+	s.Kind = e.Kind
+	ns, err := e.Normalize(s)
+	if err != nil {
+		return Spec{}, err
+	}
+	ns.Candidates = append([]Setting(nil), ns.Candidates...)
+	if len(ns.Params) == 0 {
+		ns.Params = nil
+	} else {
+		clone := make(map[string]int, len(ns.Params))
+		for k, v := range ns.Params {
+			clone[k] = v
+		}
+		ns.Params = clone
+	}
+	return ns, nil
+}
+
+// Build normalizes s and constructs the controller.
+func Build(s Spec) (Controller, error) {
+	ns, err := Normalize(s)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := Lookup(ns.Kind)
+	return e.New(ns)
+}
+
+// normalizeCommon validates the fields every built-in kind shares: epoch
+// length and candidate knob ranges.
+func normalizeCommon(kind string, s Spec) (Spec, error) {
+	if s.EpochCycles == 0 {
+		s.EpochCycles = DefaultEpochCycles
+	}
+	if s.EpochCycles < MinEpochCycles || s.EpochCycles > MaxEpochCycles {
+		return Spec{}, &SpecError{Kind: kind, Field: "EpochCycles", Reason: fmt.Sprintf("%d out of [%d,%d] (0 selects the default %d)", s.EpochCycles, MinEpochCycles, MaxEpochCycles, DefaultEpochCycles)}
+	}
+	for i, c := range s.Candidates {
+		if c.ConfThreshold < -1 || c.ConfThreshold > 255 {
+			return Spec{}, &SpecError{Kind: kind, Field: fmt.Sprintf("Candidates[%d].ConfThreshold", i), Reason: fmt.Sprintf("%d out of [-1,255] (-1 = saturation, 0 = configured)", c.ConfThreshold)}
+		}
+		if c.MaxDivergences < -1 || c.MaxDivergences > 1<<20 {
+			return Spec{}, &SpecError{Kind: kind, Field: fmt.Sprintf("Candidates[%d].MaxDivergences", i), Reason: fmt.Sprintf("%d out of [-1,%d] (-1 = divergence off, 0 = configured)", c.MaxDivergences, 1<<20)}
+		}
+		if c.FetchWidth < 0 || c.FetchWidth > 64 {
+			return Spec{}, &SpecError{Kind: kind, Field: fmt.Sprintf("Candidates[%d].FetchWidth", i), Reason: fmt.Sprintf("%d out of [0,64] (0 = configured width)", c.FetchWidth)}
+		}
+	}
+	return s, nil
+}
+
+// paramSchema validates s.Params against a closed name set with defaults:
+// unknown names are errors, absent names take their defaults, and the
+// returned spec carries the fully-filled canonical map.
+func paramSchema(kind string, s Spec, defaults map[string]int, check func(name string, v int) error) (Spec, error) {
+	for name := range s.Params {
+		if _, ok := defaults[name]; !ok {
+			names := make([]string, 0, len(defaults))
+			for k := range defaults {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			return Spec{}, &SpecError{Kind: kind, Field: "Params." + name, Reason: fmt.Sprintf("unknown parameter (accepted: %s)", strings.Join(names, ", "))}
+		}
+	}
+	filled := make(map[string]int, len(defaults))
+	for name, def := range defaults {
+		filled[name] = s.Param(name, def)
+	}
+	for name, v := range filled {
+		if err := check(name, v); err != nil {
+			return Spec{}, &SpecError{Kind: kind, Field: "Params." + name, Reason: err.Error()}
+		}
+	}
+	s.Params = filled
+	return s, nil
+}

@@ -70,6 +70,13 @@ type Sim struct {
 	DCacheMisses   uint64
 	ICacheAccesses uint64
 	ICacheMisses   uint64
+
+	// Policy controller (populated only when a policy spec is configured;
+	// tagged omitempty so policy-free runs keep their exact historical JSON
+	// encoding — the polyserve result store byte-compares encodings as a
+	// determinism audit).
+	EpochIPC       []float64 `json:"EpochIPC,omitempty"`       // per-epoch IPC trajectory
+	PolicySwitches uint64    `json:"PolicySwitches,omitempty"` // epoch boundaries where the applied setting changed
 }
 
 // DCacheMissRate returns the data cache miss rate (0 with no accesses).

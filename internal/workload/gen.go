@@ -45,6 +45,15 @@ type BranchSpec struct {
 	// CallDepth is the nesting depth of a KindCall site (1 = leaf call,
 	// 2 = the callee calls a shared second-level function).
 	CallDepth int
+	// PhaseLen, when positive on a Bernoulli branch, makes the branch
+	// phased: the taken-probability alternates between Bias and Bias2
+	// every PhaseLen stream positions (≈ PhaseLen loop iterations). This
+	// models programs whose branch behaviour changes by program phase —
+	// the m88ksim PVN anomaly the adaptive-policy experiments target.
+	PhaseLen int
+	// Bias2 is the second phase's taken-probability (required with
+	// PhaseLen).
+	Bias2 float64
 }
 
 // Spec parameterizes a synthetic benchmark.
@@ -151,6 +160,15 @@ func checkSpec(spec Spec) error {
 			if b.Bias <= 0 || b.Bias >= 1 {
 				return fmt.Errorf("workload: %s: branch %d: bias %v out of (0,1)", spec.Name, i, b.Bias)
 			}
+			if b.PhaseLen < 0 || b.PhaseLen > streamWords/2 {
+				return fmt.Errorf("workload: %s: branch %d: phase length %d out of [0,%d]", spec.Name, i, b.PhaseLen, streamWords/2)
+			}
+			if b.PhaseLen > 0 && (b.Bias2 <= 0 || b.Bias2 >= 1) {
+				return fmt.Errorf("workload: %s: branch %d: phase bias %v out of (0,1)", spec.Name, i, b.Bias2)
+			}
+			if b.PhaseLen == 0 && b.Bias2 != 0 {
+				return fmt.Errorf("workload: %s: branch %d: Bias2 set without PhaseLen", spec.Name, i)
+			}
 		case KindPattern:
 			if b.Period < 2 || b.Period > 16 {
 				return fmt.Errorf("workload: %s: branch %d: period %d out of [2,16]", spec.Name, i, b.Period)
@@ -193,7 +211,15 @@ func build(spec Spec, iterations int) (*isa.Program, error) {
 		case KindBernoulli:
 			words := make([]int64, streamWords)
 			for w := range words {
-				if rng.Float64() < br.Bias {
+				// Phased branches alternate between Bias and Bias2 every
+				// PhaseLen positions; exactly one draw per word either way,
+				// so adding a phase never perturbs the other branches'
+				// streams for the same seed.
+				bias := br.Bias
+				if br.PhaseLen > 0 && (w/br.PhaseLen)%2 == 1 {
+					bias = br.Bias2
+				}
+				if rng.Float64() < bias {
 					words[w] = 1
 				}
 			}

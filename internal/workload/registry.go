@@ -26,6 +26,13 @@ import (
 //     learnable back edge, so the misprediction rate is near zero
 //     (vortex-beyond end of the spectrum; stresses everything except the
 //     predictor).
+//   - m88ksim-phased: the m88ksim PVN-anomaly stand-in with program
+//     phases. Its data-driven branches alternate every 256 iterations
+//     between the m88ksim character (bias 0.95: isolated mispredictions,
+//     low PVN, where eager execution is mostly overhead) and a chaotic
+//     phase (bias 0.55: clustered mispredictions where divergence pays).
+//     No fixed policy wins both phases — the showcase workload for the
+//     fig-adaptive experiment family.
 func Extended(targetInsts uint64) []Benchmark {
 	if targetInsts == 0 {
 		targetInsts = DefaultTargetInsts
@@ -76,6 +83,27 @@ func Extended(targetInsts uint64) []Benchmark {
 				BlockLen: 24, Chains: 8,
 				LoadFrac: 0.12, StoreFrac: 0.06, MulFrac: 0.10, FPFrac: 0.15,
 				PredDepth: 0,
+			},
+		},
+		{
+			PaperMispredict: 0.042, // phase A target; phase B is far worse by design
+			Spec: Spec{
+				Name: "m88ksim-phased", Seed: 204, TargetInsts: targetInsts,
+				Branches: []BranchSpec{
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.55, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.55, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.55, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.55, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.60, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.95, Bias2: 0.60, PhaseLen: 256},
+					{Kind: KindBernoulli, Bias: 0.97},
+					{Kind: KindBernoulli, Bias: 0.97},
+					{Kind: KindBernoulli, Bias: 0.995},
+					{Kind: KindBernoulli, Bias: 0.995},
+				},
+				BlockLen: 12, Chains: 8,
+				LoadFrac: 0.10, StoreFrac: 0.05, MulFrac: 0.02,
+				PredDepth: 4,
 			},
 		},
 	}

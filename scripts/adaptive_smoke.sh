@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# adaptive_smoke.sh — CI gate for the phase-aware adaptive SEE policy
+# family (internal/policy + the fig-adaptive experiment).
+#
+# Runs fig-adaptive on the m88ksim-phased showcase workload (the phased
+# PVN-anomaly stand-in) at a reduced instruction count and checks:
+#   1. the rendered table is byte-identical to the committed golden
+#      scripts/golden/adaptive_smoke_150k.txt, and byte-identical across
+#      shard counts (-j 1 vs -j 4) — the deterministic-scheduler contract
+#      extended to the data-dependent two-pass oracle, and
+#   2. the adaptation gate, on full-precision JSON output: the online
+#      bandit's IPC strictly beats every static policy in its candidate
+#      set, and reaches at least 90% of the per-epoch oracle's IPC.
+#
+# Artifacts are left in ADAPTIVE_OUT (default: a temp dir; CI sets it to
+# a workspace path and uploads it when the job fails).
+set -euo pipefail
+
+WORKDIR="$(mktemp -d)"
+ADAPTIVE_OUT="${ADAPTIVE_OUT:-$WORKDIR/adaptive}"
+mkdir -p "$ADAPTIVE_OUT"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+cd "$(dirname "$0")/.."
+
+INSTS=150000
+BENCH=m88ksim-phased
+GOLDEN=scripts/golden/adaptive_smoke_150k.txt
+
+echo "== building =="
+go build -o "$WORKDIR/experiments" ./cmd/experiments
+
+echo "== fig-adaptive vs committed golden =="
+"$WORKDIR/experiments" -exp fig-adaptive -bench "$BENCH" -insts "$INSTS" -j 4 \
+    | sed '1d' >"$ADAPTIVE_OUT/adaptive.txt"
+if ! diff -u "$GOLDEN" "$ADAPTIVE_OUT/adaptive.txt"; then
+    echo "FAIL: fig-adaptive table diverged from $GOLDEN" >&2
+    echo "      (an intentional policy/workload change ships by regenerating it:" >&2
+    echo "       go run ./cmd/experiments -exp fig-adaptive -bench $BENCH -insts $INSTS | sed '1d' > $GOLDEN)" >&2
+    exit 1
+fi
+echo "table byte-identical to golden"
+
+echo "== -j 1 must be byte-identical to -j 4 =="
+"$WORKDIR/experiments" -exp fig-adaptive -bench "$BENCH" -insts "$INSTS" -j 1 \
+    | sed '1d' >"$ADAPTIVE_OUT/adaptive-j1.txt"
+if ! diff -u "$ADAPTIVE_OUT/adaptive.txt" "$ADAPTIVE_OUT/adaptive-j1.txt"; then
+    echo "FAIL: fig-adaptive output differs between -j 4 and -j 1" >&2
+    exit 1
+fi
+echo "sharded output byte-identical"
+
+echo "== adaptation gate (full-precision JSON) =="
+"$WORKDIR/experiments" -exp fig-adaptive -bench "$BENCH" -insts "$INSTS" -j 4 -json \
+    >"$ADAPTIVE_OUT/adaptive.json"
+python3 - "$ADAPTIVE_OUT/adaptive.json" <<'PY'
+import json, sys
+res = json.load(open(sys.argv[1]))["result"]
+failed = False
+for row in res["Rows"]:
+    statics = dict(zip(res["CandidateNames"], row["StaticIPC"]))
+    online, oracle = row["OnlineIPC"], row["OracleIPC"]
+    print(f"{row['Benchmark']}: statics={statics} oracle={oracle:.4f} "
+          f"online={online:.4f} switches={row['Switches']}")
+    for name, ipc in statics.items():
+        if online <= ipc:
+            print(f"FAIL: online IPC {online:.4f} does not beat static/{name} {ipc:.4f}",
+                  file=sys.stderr)
+            failed = True
+    if online < 0.9 * oracle:
+        print(f"FAIL: online IPC {online:.4f} below 90% of oracle {oracle:.4f}",
+              file=sys.stderr)
+        failed = True
+sys.exit(1 if failed else 0)
+PY
+echo "online beats every static and holds >=90% of oracle"
+
+echo "PASS: adaptive smoke"
